@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison.  Output is printed with ``-s``
+semantics forced on so the regenerated rows always reach the console.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print through pytest's capture so rows always show up."""
+
+    def _announce(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _announce

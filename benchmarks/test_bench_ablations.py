@@ -1,0 +1,99 @@
+"""Ablations of the CASH runtime's design choices.
+
+Not a paper artefact — this quantifies the design decisions DESIGN.md
+§7 calls out, on the x264 workload:
+
+* **full** — the complete runtime;
+* **no exploration** — ε-greedy and saturation probing disabled (how
+  the system behaves if it only ever exploits its estimates);
+* **no phase memory** — every detected phase change starts a fresh
+  estimate table (no recall of previously learned phases);
+* **correlated learner** — the paper's future-work extension: each
+  observation is propagated across the configuration grid through the
+  resource-response prior (:mod:`repro.runtime.correlated`).
+
+Two regimes are reported: *cold start* (the first pass over the
+application, no warmup) where the correlated learner should shine, and
+*steady state* (recorded after a full warmup pass) where phase memory
+matters because phases are being revisited.
+"""
+
+import pytest
+
+from repro.experiments.harness import CASHAllocator
+from repro.experiments.scenarios import make_throughput_simulator
+from repro.runtime.correlated import GridSmoothingLearner
+from repro.workloads.apps import get_app
+
+VARIANTS = {
+    "full": {},
+    "no exploration": {"explore": False},
+    "no phase memory": {"phase_memory": False},
+    "correlated learner": {"learner_factory": GridSmoothingLearner},
+}
+
+
+def run_variants(warmup: int, intervals: int):
+    app = get_app("x264")
+    results = {}
+    for label, kwargs in VARIANTS.items():
+        sim = make_throughput_simulator(app)
+        allocator = CASHAllocator(
+            configs=list(sim.space), qos_goal=sim.qos_goal, **kwargs
+        )
+        results[label] = sim.run(
+            allocator, intervals=intervals, warmup_intervals=warmup
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cold_start(benchmark, announce):
+    results = benchmark.pedantic(
+        run_variants, kwargs={"warmup": 0, "intervals": 700},
+        rounds=1, iterations=1,
+    )
+    announce("\n=== Ablation (cold start: first pass, no warmup) ===")
+    announce(f"{'variant':<22}{'cost $/hr':>10}{'viol %':>8}")
+    for label, run in results.items():
+        announce(
+            f"{label:<22}{run.cost_dollars:>10.4f}"
+            f"{run.violation_percent:>8.1f}"
+        )
+    # Cold start is noisy; what must hold is that every variant is a
+    # *working* runtime (bounded violations) and that the correlated
+    # learner is competitive with the independent one — its propagation
+    # sketches the surface from few observations, at the price of bias
+    # across non-convex knees that direct observation must undo.
+    for run in results.values():
+        assert run.cost_dollars > 0
+        assert run.violation_percent < 15.0
+    assert (
+        results["correlated learner"].violation_percent
+        <= results["full"].violation_percent + 5.0
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_steady_state(benchmark, announce):
+    app = get_app("x264")
+    sim = make_throughput_simulator(app)
+    warmup = int(app.total_instructions / sim.qos_goal / sim.interval_cycles) + 1
+
+    results = benchmark.pedantic(
+        run_variants, kwargs={"warmup": warmup, "intervals": 1000},
+        rounds=1, iterations=1,
+    )
+    announce("\n=== Ablation (steady state: after one full warmup pass) ===")
+    announce(f"{'variant':<22}{'cost $/hr':>10}{'viol %':>8}")
+    for label, run in results.items():
+        announce(
+            f"{label:<22}{run.cost_dollars:>10.4f}"
+            f"{run.violation_percent:>8.1f}"
+        )
+    # Every variant must still broadly work (the components are
+    # robustness/efficiency features, not correctness requirements).
+    for label, run in results.items():
+        assert run.violation_percent < 25.0, label
+    # The full runtime's violations stay rare in steady state.
+    assert results["full"].violation_percent < 5.0

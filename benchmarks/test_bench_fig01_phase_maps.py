@@ -1,0 +1,67 @@
+"""Fig. 1: x264 per-phase IPC over the 8-Slice x 64KB-8MB grid.
+
+Paper claims (Section II-A):
+* 10 distinct phases of computation;
+* 6 of 10 phases have local optima distinct from the true optimum;
+* no two consecutive phases share the optimal configuration.
+"""
+
+import pytest
+
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import make_x264
+
+
+def regenerate_fig1():
+    app = make_x264()
+    rows = []
+    for phase in app.phases:
+        grid = DEFAULT_PERF_MODEL.ipc_grid(phase, DEFAULT_CONFIG_SPACE)
+        best, best_ipc = DEFAULT_PERF_MODEL.best_config(
+            phase, DEFAULT_CONFIG_SPACE
+        )
+        maxima = DEFAULT_PERF_MODEL.local_maxima(phase, DEFAULT_CONFIG_SPACE)
+        distinct = [c for c in maxima if c != best]
+        rows.append(
+            {
+                "phase": phase.name,
+                "grid": grid,
+                "best": best,
+                "best_ipc": best_ipc,
+                "distinct_local_optima": distinct,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_phase_maps(benchmark, announce):
+    rows = benchmark.pedantic(regenerate_fig1, rounds=3, iterations=1)
+
+    announce("\n=== Fig. 1: x264 phase maps (paper: Fig. 1a-1k) ===")
+    previous = None
+    with_local = 0
+    for index, row in enumerate(rows, start=1):
+        marker = " <-- same as previous" if row["best"] == previous else ""
+        if row["distinct_local_optima"]:
+            with_local += 1
+        announce(
+            f"phase {index:>2}: optimum {str(row['best']):>9} "
+            f"ipc {row['best_ipc']:5.2f}  distinct local optima "
+            f"{len(row['distinct_local_optima'])}{marker}"
+        )
+        previous = row["best"]
+    announce(
+        f"phases with local optima distinct from global: {with_local}/10 "
+        "(paper: 6/10)"
+    )
+
+    # The paper's three structural claims must hold.
+    assert len(rows) == 10
+    assert with_local == 6
+    optima = [row["best"] for row in rows]
+    assert all(a != b for a, b in zip(optima, optima[1:]))
+    # Every phase's surface spans a non-trivial dynamic range.
+    for row in rows:
+        assert row["grid"].max() / row["grid"].min() > 1.3

@@ -1,0 +1,145 @@
+"""Fig. 2: the motivational comparison of fine-grain allocators on x264.
+
+Paper claims (Section II-B):
+* convex optimization incurs much higher cost than optimal AND
+  repeatedly violates QoS;
+* race-to-idle never violates (optimistic assumptions) but costs far
+  more than optimal;
+* for x264 both produce well over the optimal cost (the paper quotes
+  over 4.5x for its per-phase QoS variant; our QoS rule is the
+  Section VI-C one, so the gap is smaller but the ordering is the
+  same).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import x264_timeseries, run_app_with_allocator
+
+
+def regenerate_fig2():
+    runs = {
+        kind: run_app_with_allocator("x264", kind, intervals=700)
+        for kind in ("optimal", "convex", "race")
+    }
+    return runs
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_motivational_comparison(benchmark, announce):
+    runs = benchmark.pedantic(regenerate_fig2, rounds=1, iterations=1)
+
+    optimal = runs["optimal"]
+    convex = runs["convex"]
+    race = runs["race"]
+
+    announce("\n=== Fig. 2: fine-grain resource allocators on x264 ===")
+    announce(f"{'allocator':<22}{'cost $/hr':>10}{'vs optimal':>12}{'viol %':>8}")
+    for name, run in (("Optimal", optimal), ("Convex Optimization", convex),
+                      ("Race to Idle", race)):
+        announce(
+            f"{name:<22}{run.cost_dollars:>10.4f}"
+            f"{run.cost_dollars / optimal.cost_dollars:>11.2f}x"
+            f"{run.violation_percent:>8.1f}"
+        )
+
+    # Shape: both baselines cost more than optimal...
+    assert convex.cost_dollars > optimal.cost_dollars
+    assert race.cost_dollars > 1.5 * optimal.cost_dollars
+    # ...convex violates repeatedly, race never does.
+    assert convex.violation_percent > 10.0
+    assert race.violation_percent == 0.0
+    # Optimal itself never violates.
+    assert optimal.violation_percent == 0.0
+
+
+def motivational_variant():
+    """The paper's own Fig. 2 framing: *every phase* must meet its
+    desired throughput (a per-phase target), rather than one global
+    IPC floor.  Race-to-idle must then hold the one configuration that
+    satisfies the most demanding phase — for our x264 calibration the
+    full 8S/8MB — while the optimal allocator re-provisions per phase.
+    """
+    from repro.arch.cost import DEFAULT_COST_MODEL
+    from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+    from repro.baselines.oracle import phase_points
+    from repro.runtime.optimizer import lower_envelope_cost
+    from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+    from repro.workloads.apps import make_x264
+
+    app = make_x264()
+    model, space, cost_model = (
+        DEFAULT_PERF_MODEL,
+        DEFAULT_CONFIG_SPACE,
+        DEFAULT_COST_MODEL,
+    )
+    targets = {
+        phase.name: 0.9 * model.best_config(phase, space)[1]
+        for phase in app.phases
+    }
+    optimal_cost = 0.0
+    total_weight = 0.0
+    for phase in app.phases:
+        points = phase_points(phase, model, space, cost_model)
+        cost, _ = lower_envelope_cost(points, targets[phase.name])
+        weight = phase.instructions / targets[phase.name]
+        optimal_cost += cost * weight
+        total_weight += weight
+    optimal_rate = optimal_cost / total_weight
+
+    feasible = [
+        config
+        for config in space
+        if all(
+            model.ipc(phase, config) >= targets[phase.name]
+            for phase in app.phases
+        )
+    ]
+    race_config = min(feasible, key=lambda c: c.cost_rate(cost_model))
+    race_cost = 0.0
+    for phase in app.phases:
+        weight = phase.instructions / targets[phase.name]
+        busy = targets[phase.name] / model.ipc(phase, race_config)
+        race_cost += race_config.cost_rate(cost_model) * busy * weight
+    race_rate = race_cost / total_weight
+    return optimal_rate, race_rate, race_config
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_per_phase_qos_variant(benchmark, announce):
+    optimal_rate, race_rate, race_config = benchmark.pedantic(
+        motivational_variant, rounds=3, iterations=1
+    )
+    ratio = race_rate / optimal_rate
+    announce(
+        "\n=== Fig. 2 variant: every phase meets its own throughput ==="
+    )
+    announce(
+        f"optimal ${optimal_rate:.4f}/hr vs race-to-idle on {race_config} "
+        f"${race_rate:.4f}/hr -> {ratio:.2f}x (paper: 'over 4.5x')"
+    )
+    # The qualitative claim: with per-phase targets, worst-case
+    # provisioning costs a multiple of optimal, not a few percent.
+    assert ratio > 2.5
+    assert race_config.l2_kb == 8192  # the demanding phase pins the max
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_time_series(benchmark, announce):
+    results = benchmark.pedantic(
+        x264_timeseries, kwargs={"intervals": 220}, rounds=1, iterations=1
+    )
+    announce("\n=== Fig. 2 time series (cost rate $/hr @ Mcycles) ===")
+    header = f"{'Mcycles':>8}" + "".join(f"{name:>24}" for name in results)
+    announce(header)
+    any_run = next(iter(results.values()))
+    for i in range(0, any_run.num_intervals, 30):
+        row = f"{any_run.records[i].start_cycle / 1e6:>8.1f}"
+        for run in results.values():
+            row += f"{run.records[i].cost_rate:>24.4f}"
+        announce(row)
+    # Race-to-idle's normalized performance exceeds 1 when racing
+    # (the bottom chart of Fig. 2 shows it well above the QoS line).
+    race = results["Race to Idle"]
+    perf = race.normalized_performance_series()
+    assert max(perf) > 1.1
+    assert min(perf) > 0.97

@@ -1,0 +1,63 @@
+"""Fig. 8: time-series behaviour of the allocators on x264.
+
+Paper claims (Section VI-D1):
+* CASH detects phase behaviour changes and reallocates to reduce cost,
+  while convex optimization lingers in expensive configurations after
+  an expensive phase ends;
+* race-to-idle's busy-time performance rides well above the QoS line;
+* CASH's delivered performance stays close to the goal.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import x264_timeseries
+
+
+def regenerate():
+    return x264_timeseries(intervals=900)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_x264_timeseries(benchmark, announce):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    convex = results["Convex Optimization"]
+    race = results["Race to Idle"]
+    cash = results["CASH"]
+
+    announce("\n=== Fig. 8: x264 time series (sampled every 60 intervals) ===")
+    announce(
+        f"{'Mcycles':>8}{'phase':>10}"
+        f"{'convex $/h':>12}{'race $/h':>12}{'cash $/h':>12}{'cash perf':>11}"
+    )
+    cash_perf = cash.normalized_performance_series()
+    for i in range(0, cash.num_intervals, 60):
+        announce(
+            f"{cash.records[i].start_cycle / 1e6:>8.0f}"
+            f"{cash.records[i].phase_name.split('.')[-1]:>10}"
+            f"{convex.records[min(i, convex.num_intervals - 1)].cost_rate:>12.4f}"
+            f"{race.records[min(i, race.num_intervals - 1)].cost_rate:>12.4f}"
+            f"{cash.records[i].cost_rate:>12.4f}"
+            f"{cash_perf[i]:>11.2f}"
+        )
+
+    announce(
+        f"\nmean cost rates: convex ${convex.mean_cost_rate:.4f}, "
+        f"race ${race.mean_cost_rate:.4f}, cash ${cash.mean_cost_rate:.4f}"
+    )
+
+    # CASH adapts: it is cheaper than race-to-idle over the run.
+    assert cash.mean_cost_rate < race.mean_cost_rate
+    # CASH leaves the expensive phase-3 configuration: its cost rate in
+    # cheap phases (p2/p9) is far below its cost rate in phase 3.
+    by_phase = {}
+    for record in cash.records:
+        by_phase.setdefault(record.phase_name, []).append(record.cost_rate)
+    p3 = sum(by_phase["x264.p3"]) / len(by_phase["x264.p3"])
+    p9 = sum(by_phase["x264.p9"]) / len(by_phase["x264.p9"])
+    assert p9 < 0.6 * p3
+    # Delivered performance hugs the goal: the long-run average is at
+    # or above it, without racing far past it the way race-to-idle does.
+    mean_perf = sum(cash_perf) / len(cash_perf)
+    race_perf = race.normalized_performance_series()
+    assert 0.97 <= mean_perf
+    assert (sum(race_perf) / len(race_perf)) > mean_perf

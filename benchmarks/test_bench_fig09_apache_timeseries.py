@@ -1,0 +1,71 @@
+"""Fig. 9: apache under an oscillating request stream.
+
+Paper claims (Section VI-D2):
+* all methods keep the delivered latency close to the target as the
+  request rate oscillates;
+* race-to-idle is the most expensive — it always reserves the worst
+  case, which is only realized briefly;
+* CASH is the cheapest adaptive scheme (the paper quotes ~18% cheaper
+  than convex optimization; our convex baseline undercuts by violating
+  instead, so the comparison we assert is cost-at-met-QoS).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import apache_timeseries
+
+
+def regenerate():
+    return apache_timeseries(intervals=448)  # four full oscillations
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_apache_timeseries(benchmark, announce):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    convex = results["Convex Optimization"]
+    race = results["Race to Idle"]
+    cash = results["CASH"]
+
+    announce("\n=== Fig. 9: apache under oscillating load ===")
+    announce(
+        f"{'10Mcyc':>7}{'reqs/s':>8}"
+        f"{'convex $/h':>12}{'race $/h':>12}{'cash $/h':>12}{'cash q':>8}"
+    )
+    for i in range(0, cash.num_intervals, 32):
+        announce(
+            f"{cash.records[i].start_cycle / 1e7:>7.0f}"
+            f"{cash.records[i].request_rate:>8.0f}"
+            f"{convex.records[i].cost_rate:>12.4f}"
+            f"{race.records[i].cost_rate:>12.4f}"
+            f"{cash.records[i].cost_rate:>12.4f}"
+            f"{cash.records[i].true_qos:>8.2f}"
+        )
+    announce(
+        f"\nmean cost: convex ${convex.mean_cost_rate:.4f} "
+        f"({convex.violation_percent:.0f}% viol), "
+        f"race ${race.mean_cost_rate:.4f} "
+        f"({race.violation_percent:.0f}% viol), "
+        f"cash ${cash.mean_cost_rate:.4f} "
+        f"({cash.violation_percent:.0f}% viol)"
+    )
+
+    # Race-to-idle is the most expensive and perfectly flat.
+    assert race.mean_cost_rate > cash.mean_cost_rate
+    assert race.mean_cost_rate > convex.mean_cost_rate
+    flat = {round(r.cost_rate, 8) for r in race.records}
+    assert len(flat) == 1
+    # Race never violates; CASH violates rarely.
+    assert race.violation_percent == 0.0
+    assert cash.violation_percent < 8.0
+    # CASH's allocation tracks the load: its cost at the trough is well
+    # below its cost at the peak.
+    trough = [
+        r.cost_rate for r in cash.records if r.request_rate < 400
+    ]
+    peak = [
+        r.cost_rate for r in cash.records if r.request_rate > 1200
+    ]
+    assert sum(trough) / len(trough) < 0.7 * (sum(peak) / len(peak))
+    # Convex undercuts CASH's cost only by violating wholesale.
+    if convex.mean_cost_rate < cash.mean_cost_rate:
+        assert convex.violation_percent > 4 * cash.violation_percent

@@ -1,0 +1,59 @@
+"""Fig. 10 / Section VI-E: coarse vs fine grain x race vs adaptive.
+
+Paper claims:
+* geometric-mean costs: CoarseGrain-race $0.062, CoarseGrain-adapt
+  $0.048, FineGrain-race $0.029, CASH $0.017;
+* adaptation alone reduces cost by ~25%;
+* fine-grain reconfigurability alone reduces cost by more than 50%;
+* combined, CASH saves over 70% vs racing on a heterogeneous machine.
+"""
+
+import pytest
+
+from repro.experiments.report import per_app_table
+from repro.experiments.scenarios import compare_architectures, geometric_mean
+
+PAPER_GEOMEANS = {
+    "CoarseGrain race": 0.062,
+    "CoarseGrain adapt": 0.048,
+    "FineGrain race": 0.029,
+    "CASH": 0.017,
+}
+
+
+def regenerate():
+    return compare_architectures(intervals=1000)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_architecture_comparison(benchmark, announce):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    geo = {
+        name: geometric_mean([r.cost_dollars for r in runs.values()])
+        for name, runs in results.items()
+    }
+    coarse_race = geo["CoarseGrain race"]
+
+    announce("\n=== Fig. 10: coarse vs fine grain, race vs adaptive ===")
+    announce(f"{'system':<20}{'geomean $':>10}{'saving':>8}{'paper $':>9}")
+    for name in PAPER_GEOMEANS:
+        saving = (1.0 - geo[name] / coarse_race) * 100.0
+        announce(
+            f"{name:<20}{geo[name]:>10.4f}{saving:>7.0f}%"
+            f"{PAPER_GEOMEANS[name]:>9.3f}"
+        )
+    announce("\nper-application detail:")
+    announce(per_app_table(results))
+
+    # Ordering: every step of the 2x2 helps, CASH is cheapest.
+    assert geo["CASH"] < geo["FineGrain race"] < geo["CoarseGrain race"]
+    assert geo["CASH"] < geo["CoarseGrain adapt"] < geo["CoarseGrain race"]
+
+    # Magnitudes (paper: ~25% adaptation, >50% fine-grain, >70% both).
+    adapt_saving = 1.0 - geo["CoarseGrain adapt"] / coarse_race
+    fine_saving = 1.0 - geo["FineGrain race"] / coarse_race
+    cash_saving = 1.0 - geo["CASH"] / coarse_race
+    assert 0.15 <= adapt_saving <= 0.45
+    assert 0.35 <= fine_saving <= 0.80
+    assert cash_saving >= 0.55

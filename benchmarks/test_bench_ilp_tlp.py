@@ -1,0 +1,51 @@
+"""The ILP-vs-TLP trade-off on a fixed tile budget (Section III-A).
+
+Not a numbered paper artefact, but a direct claim of the architecture
+section: grouping Slices "empower[s] users to make decisions about
+trading off ILP vs. TLP ... while all utilizing the same resources."
+This benchmark sweeps the parallel fraction of a workload on a fixed
+24-tile budget and reports the optimal VM shape at each point — the
+same silicon reshaped from one wide core into many narrow ones.
+"""
+
+import pytest
+
+from repro.arch.vm import best_vm_shape
+from repro.workloads.apps import make_x264
+
+PARALLEL_FRACTIONS = (0.0, 0.3, 0.6, 0.9, 0.99)
+TILE_BUDGET = 24
+
+
+def regenerate():
+    phase = make_x264().phases[1]  # motion estimation: high ILP
+    rows = []
+    for fraction in PARALLEL_FRACTIONS:
+        point = best_vm_shape(phase, fraction, tile_budget=TILE_BUDGET)
+        rows.append((fraction, point))
+    return rows
+
+
+@pytest.mark.benchmark(group="ilp_tlp")
+def test_ilp_tlp_tradeoff(benchmark, announce):
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+
+    announce("\n=== ILP vs TLP on a fixed 24-tile budget (x264 p2) ===")
+    announce(
+        f"{'parallel frac':>14}{'best shape':>16}{'vcores':>8}"
+        f"{'throughput':>12}{'$/hr':>8}"
+    )
+    for fraction, point in rows:
+        announce(
+            f"{fraction:>14.2f}{str(point.vm):>16}{point.vm.num_vcores:>8}"
+            f"{point.throughput:>12.2f}{point.cost_rate:>8.4f}"
+        )
+
+    counts = [point.vm.num_vcores for _, point in rows]
+    throughputs = [point.throughput for _, point in rows]
+    # Serial work wants one wide core; parallel work wants many.
+    assert counts[0] == 1
+    assert counts[-1] >= 2
+    assert counts == sorted(counts)
+    # Parallelism never hurts aggregate throughput.
+    assert throughputs == sorted(throughputs)

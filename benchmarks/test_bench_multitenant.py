@@ -1,0 +1,81 @@
+"""Provider-level extension benchmark: tenant density on one fabric.
+
+Not a paper artefact, but the paper's own motivation ("deployment of
+such a system would then also benefit cloud providers by attracting
+more customers", Section I): quantify what fine-grain adaptivity buys
+the *provider*.  The same customer mix runs on the same 16x16 fabric
+under two fleet policies — every tenant racing its worst-case
+reservation vs every tenant running the CASH runtime — and we compare
+occupied footprint, tenant bills, and QoS.
+"""
+
+import pytest
+
+from repro.arch.fabric import Fabric
+from repro.cloud import CloudProvider, Tenant
+from repro.experiments.harness import qos_target_for
+from repro.workloads.apps import get_app
+
+MIX = ["bzip", "hmmer", "sjeng", "lib", "omnetpp", "ferret"]
+
+
+def build_tenants(policy):
+    tenants = []
+    for index, name in enumerate(MIX):
+        app = get_app(name)
+        tenants.append(
+            Tenant(
+                tenant_id=index,
+                app=app,
+                qos_goal=qos_target_for(app),
+                policy=policy,
+                arrival_interval=index * 10,
+            )
+        )
+    return tenants
+
+
+def run_fleets():
+    reports = {}
+    for policy in ("race", "cash"):
+        provider = CloudProvider(fabric=Fabric(width=16, height=16), seed=7)
+        reports[policy] = (
+            provider,
+            provider.run(build_tenants(policy), intervals=500),
+        )
+    return reports
+
+
+@pytest.mark.benchmark(group="multitenant")
+def test_provider_density(benchmark, announce):
+    reports = benchmark.pedantic(run_fleets, rounds=1, iterations=1)
+
+    announce("\n=== Provider view: race fleet vs CASH fleet (16x16 fabric) ===")
+    announce(
+        f"{'fleet':<8}{'admitted':>9}{'util %':>8}{'mean bill':>11}"
+        f"{'mean viol %':>12}{'mean tiles':>11}"
+    )
+    stats = {}
+    for policy, (provider, report) in reports.items():
+        accounts = list(report.accounts.values())
+        bills = sum(a.mean_cost_rate for a in accounts) / len(accounts)
+        tiles = sum(a.mean_footprint_tiles for a in accounts) / len(accounts)
+        stats[policy] = {
+            "bills": bills,
+            "tiles": tiles,
+            "viol": report.mean_violation_percent,
+            "util": report.mean_utilization,
+        }
+        announce(
+            f"{policy:<8}{report.admitted:>9}"
+            f"{report.mean_utilization * 100:>8.0f}"
+            f"{bills:>11.4f}{report.mean_violation_percent:>12.1f}"
+            f"{tiles:>11.1f}"
+        )
+
+    # The CASH fleet occupies (and bills for) much less silicon while
+    # keeping violations bounded — that slack is rentable capacity.
+    assert stats["cash"]["tiles"] < 0.8 * stats["race"]["tiles"]
+    assert stats["cash"]["bills"] < stats["race"]["bills"]
+    assert stats["race"]["viol"] == 0.0
+    assert stats["cash"]["viol"] < 12.0

@@ -1,0 +1,96 @@
+"""Section VI-A: reconfiguration and runtime overheads.
+
+Paper claims:
+* Slice expansion ~= a pipeline flush, approximately 15 cycles;
+* Slice contraction takes at most 64 cycles more than expansion;
+* an L2 bank flush is BankSize/NetworkWidth cycles worst case (the
+  paper quotes 8000 for 64 KB over 64 bits; binary-exact is 8192);
+* one runtime iteration costs ~2000 / 1100 / 977 cycles on 1 / 2 / 3
+  Slices, independent of the application.
+"""
+
+import pytest
+
+from repro.arch.reconfig import DEFAULT_RECONFIG_COSTS
+from repro.arch.registers import DistributedRegisterFile
+from repro.arch.vcore import VCoreConfig
+from repro.sim.ssim import SSim
+
+PAPER_RUNTIME_CYCLES = {1: 2000, 2: 1100, 3: 977}
+
+
+@pytest.mark.benchmark(group="sec6a")
+def test_architectural_overheads(benchmark, announce):
+    costs = DEFAULT_RECONFIG_COSTS
+
+    def measure():
+        return {
+            "slice_expand": costs.slice_expand_cycles(),
+            "slice_shrink_worst": costs.slice_shrink_cycles(),
+            "l2_flush_worst": costs.l2_bank_flush_cycles(),
+        }
+
+    measured = benchmark.pedantic(measure, rounds=5, iterations=1)
+
+    announce("\n=== Sec. VI-A: architectural reconfiguration overheads ===")
+    announce(f"{'mechanism':<28}{'measured':>10}{'paper':>10}")
+    announce(f"{'Slice expansion':<28}{measured['slice_expand']:>10}{'~15':>10}")
+    announce(
+        f"{'Slice contraction (worst)':<28}"
+        f"{measured['slice_shrink_worst']:>10}{'<= 15+64':>10}"
+    )
+    announce(
+        f"{'L2 bank flush (worst)':<28}"
+        f"{measured['l2_flush_worst']:>10}{'8000*':>10}"
+    )
+    announce("(* the paper rounds 64KB/8B; binary-exact is 8192)")
+
+    assert measured["slice_expand"] == 15
+    assert measured["slice_shrink_worst"] <= 15 + 64
+    assert measured["l2_flush_worst"] == 8192
+
+
+@pytest.mark.benchmark(group="sec6a")
+def test_register_flush_bounded_by_global_registers(benchmark, announce):
+    def measure():
+        # 64 live architectural registers (e.g. Alpha's 32 int + 32 fp)
+        # spread across 8 Slices, shrunk to one.
+        registers = DistributedRegisterFile(slice_ids=range(8))
+        for gr in range(64):
+            registers.write(gr % 8, gr, gr)
+        record = registers.shrink([0])
+        return record
+
+    record = benchmark.pedantic(measure, rounds=5, iterations=1)
+    announce(
+        f"\nregister flush on 8->1 shrink: {record.messages} messages "
+        "(bound: 128 global logical registers)"
+    )
+    assert record.messages <= 128
+    assert record.spills == 0
+
+
+@pytest.mark.benchmark(group="sec6a")
+def test_runtime_iteration_cycles(benchmark, announce):
+    ssim = SSim()
+
+    def measure():
+        return {
+            slices: ssim.runtime_iteration_cycles(slices=slices)
+            for slices in (1, 2, 3)
+        }
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    announce("\n=== Sec. VI-A: runtime overhead (cycles per iteration) ===")
+    announce(f"{'slices':>7}{'measured':>10}{'paper':>8}")
+    for slices, cycles in measured.items():
+        announce(
+            f"{slices:>7}{cycles:>10.0f}{PAPER_RUNTIME_CYCLES[slices]:>8}"
+        )
+
+    # Shape: decreasing with Slices, same order of magnitude as paper.
+    assert measured[1] > measured[2] > measured[3]
+    for slices, cycles in measured.items():
+        paper = PAPER_RUNTIME_CYCLES[slices]
+        assert 0.5 * paper <= cycles <= 1.6 * paper

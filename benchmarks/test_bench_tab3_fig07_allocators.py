@@ -1,0 +1,70 @@
+"""Table III and Fig. 7: cost and QoS violations across 13 applications.
+
+Paper claims (Section VI-C, Table III):
+* geometric-mean cost ratios to optimal: Convex 1.23x, Race 1.78x,
+  CASH 1.03x;
+* CASH delivers the QoS at least 95% of the time (<2% violations on
+  average, some apps a little more);
+* race-to-idle never violates (with a-priori worst-case knowledge);
+* convex optimization has large-scale violations (the paper's omnetpp
+  shows ~20% — in our calibration several apps behave that way).
+"""
+
+import pytest
+
+from repro.experiments.report import cost_table, per_app_table
+from repro.experiments.scenarios import compare_allocators, geometric_mean
+
+
+def regenerate():
+    return compare_allocators(intervals=1000)
+
+
+@pytest.mark.benchmark(group="tab3_fig7")
+def test_table3_and_fig7(benchmark, announce):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    announce("\n=== Table III: cost comparison (geometric means) ===")
+    announce(cost_table(results))
+    announce("\npaper: Optimal $0.0162 1.00 / Convex $0.0199 1.23 / "
+             "Race $0.0289 1.78 / CASH $0.0168 1.03")
+    announce("\n=== Fig. 7: per-application cost and QoS violations ===")
+    announce(per_app_table(results))
+
+    geo = {
+        name: geometric_mean([r.cost_dollars for r in runs.values()])
+        for name, runs in results.items()
+    }
+    ratio = {name: geo[name] / geo["Optimal"] for name in geo}
+    violations = {
+        name: sum(r.violation_percent for r in runs.values()) / len(runs)
+        for name, runs in results.items()
+    }
+
+    # --- the paper's orderings ---------------------------------------
+    # Race is by far the most expensive systematic strategy.
+    assert ratio["Race to Idle"] > 1.5
+    # CASH sits between optimal and race: near-optimal cost.
+    assert 1.0 <= ratio["CASH"] < ratio["Race to Idle"]
+    # CASH has rare violations; the paper quotes <2%, we accept <5%.
+    assert violations["CASH"] < 5.0
+    # Race (with worst-case knowledge) and the oracle never violate.
+    assert violations["Race to Idle"] == 0.0
+    assert violations["Optimal"] == 0.0
+    # Convex optimization has large-scale violations.
+    assert violations["Convex Optimization"] > 10.0
+
+    # --- the omnetpp anomaly (Section VI-C) --------------------------
+    # Convex sometimes undercuts CASH's cost, but only by violating
+    # QoS wholesale.
+    convex_cheaper = [
+        app
+        for app in results["Optimal"]
+        if results["Convex Optimization"][app].cost_dollars
+        < results["CASH"][app].cost_dollars
+    ]
+    for app in convex_cheaper:
+        assert (
+            results["Convex Optimization"][app].violation_percent
+            > results["CASH"][app].violation_percent
+        )

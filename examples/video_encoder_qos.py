@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""x264 under a frame-rate QoS: the Figs. 2 and 8 scenario.
+
+Runs the x264 phase model closed-loop with convex optimization,
+race-to-idle and the CASH runtime, and prints the time series of cost
+rate and normalized performance that Figs. 2 and 8 plot:
+
+    python examples/video_encoder_qos.py
+"""
+
+from repro.experiments.report import timeseries_table
+from repro.experiments.scenarios import x264_timeseries
+
+
+def main() -> None:
+    results = x264_timeseries(intervals=220)
+    print(timeseries_table(results, stride=20))
+    print()
+    for name, run in results.items():
+        print(
+            f"{name:<22} mean cost rate ${run.mean_cost_rate:.4f}/hr, "
+            f"violations {run.violation_percent:.1f}%"
+        )
+    cash = results["CASH"]
+    convex = results["Convex Optimization"]
+    race = results["Race to Idle"]
+    print(
+        f"\nCASH vs convex optimization: "
+        f"{(1 - cash.mean_cost_rate / convex.mean_cost_rate) * 100:+.0f}% cost"
+    )
+    print(
+        f"CASH vs race-to-idle:        "
+        f"{(1 - cash.mean_cost_rate / race.mean_cost_rate) * 100:+.0f}% cost"
+    )
+
+
+if __name__ == "__main__":
+    main()

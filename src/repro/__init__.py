@@ -1,0 +1,10 @@
+"""repro: a reproduction of CASH (ISCA 2016).
+
+CASH co-designs a sub-core configurable architecture (a fabric of
+Slices and L2 cache banks composed into virtual cores) with a
+cost-optimizing runtime (deadbeat control + Kalman phase estimation +
+Q-learning over a two-configuration LP schedule) that meets IaaS
+customers' QoS targets at near-minimal rental cost.
+"""
+
+__version__ = "1.0.0"

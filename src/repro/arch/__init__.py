@@ -1,0 +1,94 @@
+"""The CASH hardware architecture model.
+
+This subpackage models the sub-core configurable fabric described in
+Section III of the paper: Slices (simple out-of-order mini-cores), L2
+cache banks, the switched interconnects that join them, the distributed
+register file with its Register Flush protocol, the reconfiguration
+commands (EXPAND / SHRINK) and their cycle costs, the timestamped
+performance-counter network, and the area-linear cost model used to
+price virtual cores.
+"""
+
+from repro.arch.params import (
+    CacheLevelParams,
+    CacheParams,
+    SliceParams,
+    DEFAULT_CACHE_PARAMS,
+    DEFAULT_SLICE_PARAMS,
+)
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
+from repro.arch.cache import CacheBank, CacheGeometry, l2_hit_delay
+from repro.arch.vcore import VCoreConfig, ConfigurationSpace, DEFAULT_CONFIG_SPACE
+from repro.arch.slice_unit import Slice
+from repro.arch.fabric import Fabric, FabricError, Tile, TileKind
+from repro.arch.registers import (
+    DistributedRegisterFile,
+    RegisterFlushError,
+    FlushRecord,
+)
+from repro.arch.reconfig import (
+    ReconfigCommand,
+    ReconfigKind,
+    ReconfigCostModel,
+    ReconfigEngine,
+    DEFAULT_RECONFIG_COSTS,
+)
+from repro.arch.counters import CounterSample, PerformanceCounters, CounterKind
+from repro.arch.network import (
+    RuntimeInterfaceNetwork,
+    CounterRequest,
+    CounterReply,
+    OperandNetwork,
+    MessagePriority,
+)
+from repro.arch.vm import (
+    VirtualMachine,
+    VmShapePoint,
+    best_vm_shape,
+    enumerate_vm_shapes,
+    uniform_vm,
+    vm_throughput,
+)
+
+__all__ = [
+    "CacheLevelParams",
+    "CacheParams",
+    "SliceParams",
+    "DEFAULT_CACHE_PARAMS",
+    "DEFAULT_SLICE_PARAMS",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CacheBank",
+    "CacheGeometry",
+    "l2_hit_delay",
+    "VCoreConfig",
+    "ConfigurationSpace",
+    "DEFAULT_CONFIG_SPACE",
+    "Slice",
+    "Fabric",
+    "FabricError",
+    "Tile",
+    "TileKind",
+    "DistributedRegisterFile",
+    "RegisterFlushError",
+    "FlushRecord",
+    "ReconfigCommand",
+    "ReconfigKind",
+    "ReconfigCostModel",
+    "ReconfigEngine",
+    "DEFAULT_RECONFIG_COSTS",
+    "CounterSample",
+    "PerformanceCounters",
+    "CounterKind",
+    "RuntimeInterfaceNetwork",
+    "CounterRequest",
+    "CounterReply",
+    "OperandNetwork",
+    "MessagePriority",
+    "VirtualMachine",
+    "VmShapePoint",
+    "best_vm_shape",
+    "enumerate_vm_shapes",
+    "uniform_vm",
+    "vm_throughput",
+]

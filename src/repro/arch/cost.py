@@ -1,0 +1,82 @@
+"""Area-linear pricing of virtual cores (Section VI-B).
+
+Following the paper, price grows linearly with silicon area, anchored so
+that the minimal configuration (1 Slice + one 64 KB L2 bank) costs the
+same $0.013/hour Amazon charged for a t2.micro.  The Verilog-derived area
+split prices a Slice at $0.0098/hour and 64 KB of L2 at $0.0032/hour.
+The paper stresses that only the *ratios* matter for its conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.arch.vcore import VCoreConfig
+
+CYCLES_PER_SECOND = 1.0e9
+"""Nominal clock used to convert cycle counts into wall-clock hours."""
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear $/hour pricing for Slices and L2 cache banks."""
+
+    slice_price_per_hour: float = 0.0098
+    l2_price_per_64kb_hour: float = 0.0032
+    idle_price_per_hour: float = 0.0
+    """Race-to-idle is (optimistically) charged nothing while idle."""
+
+    l2_bank_kb: int = 64
+
+    def __post_init__(self) -> None:
+        if self.slice_price_per_hour < 0:
+            raise ValueError("slice_price_per_hour must be non-negative")
+        if self.l2_price_per_64kb_hour < 0:
+            raise ValueError("l2_price_per_64kb_hour must be non-negative")
+        if self.idle_price_per_hour < 0:
+            raise ValueError("idle_price_per_hour must be non-negative")
+        if self.l2_bank_kb <= 0:
+            raise ValueError("l2_bank_kb must be positive")
+
+    def rate(self, slices: int, l2_kb: int) -> float:
+        """$/hour for a virtual core of ``slices`` Slices and ``l2_kb`` KB L2."""
+        if slices < 0:
+            raise ValueError(f"slices must be non-negative, got {slices}")
+        if l2_kb < 0:
+            raise ValueError(f"l2_kb must be non-negative, got {l2_kb}")
+        banks = l2_kb / self.l2_bank_kb
+        return (
+            slices * self.slice_price_per_hour
+            + banks * self.l2_price_per_64kb_hour
+        )
+
+    def rate_for(self, config: "VCoreConfig") -> float:
+        """$/hour for a :class:`~repro.arch.vcore.VCoreConfig`."""
+        return self.rate(config.slices, config.l2_kb)
+
+    def cost_for_cycles(
+        self,
+        slices: int,
+        l2_kb: int,
+        cycles: float,
+        cycles_per_second: float = CYCLES_PER_SECOND,
+    ) -> float:
+        """Dollar cost of holding a configuration for ``cycles`` cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        if cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        hours = cycles / cycles_per_second / SECONDS_PER_HOUR
+        return self.rate(slices, l2_kb) * hours
+
+    @property
+    def minimum_rate(self) -> float:
+        """$/hour of the minimal rentable unit (1 Slice + one bank)."""
+        return self.rate(1, self.l2_bank_kb)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,293 @@
+"""The 2D fabric of Slices and L2 cache banks (Fig. 3).
+
+A full CASH chip contains hundreds of Slices and cache banks laid out on
+a 2D switched fabric.  Neither Slices nor banks need to be contiguous
+for a virtual core to function, but the runtime groups adjacent tiles to
+reduce operand communication and cache access latency (Section III-A).
+All Slices are interchangeable and equally connected, so fragmentation
+is fixed by simply rescheduling Slices to virtual cores.
+
+This module provides spatial allocation: given a virtual-core request
+(S Slices, B banks) it carves a compact region out of the free tiles,
+preferring tiles adjacent to ones already chosen.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.arch.cache import CacheBank
+from repro.arch.network import Coordinate, manhattan
+from repro.arch.params import CacheParams, SliceParams
+from repro.arch.params import DEFAULT_CACHE_PARAMS, DEFAULT_SLICE_PARAMS
+from repro.arch.slice_unit import Slice
+from repro.arch.vcore import VCoreConfig
+
+
+class FabricError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+class TileKind(enum.Enum):
+    SLICE = "slice"
+    L2_BANK = "l2_bank"
+
+
+@dataclass
+class Tile:
+    """One fabric tile: either a Slice or an L2 cache bank."""
+
+    kind: TileKind
+    position: Coordinate
+    owner_vcore: Optional[int] = None
+    slice_unit: Optional[Slice] = None
+    bank: Optional[CacheBank] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.owner_vcore is None
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """The tiles granted to one virtual core."""
+
+    vcore_id: int
+    config: VCoreConfig
+    slice_positions: Tuple[Coordinate, ...]
+    bank_positions: Tuple[Coordinate, ...]
+
+    @property
+    def positions(self) -> Tuple[Coordinate, ...]:
+        return self.slice_positions + self.bank_positions
+
+    def mean_slice_to_bank_distance(self) -> float:
+        """Average Manhattan distance from each Slice to each bank."""
+        if not self.slice_positions or not self.bank_positions:
+            return 0.0
+        total = sum(
+            manhattan(s, b)
+            for s in self.slice_positions
+            for b in self.bank_positions
+        )
+        return total / (len(self.slice_positions) * len(self.bank_positions))
+
+
+class Fabric:
+    """A ``width x height`` checkerboard of Slices and L2 banks.
+
+    Even (x+y) tiles are Slices and odd tiles are banks, approximating
+    the interleaved layout of Fig. 3 with a 1:1 Slice:bank ratio.  Use
+    ``bank_ratio`` to change the mix (e.g. 2 banks per Slice).
+    """
+
+    def __init__(
+        self,
+        width: int = 16,
+        height: int = 16,
+        bank_ratio: int = 1,
+        slice_params: SliceParams = DEFAULT_SLICE_PARAMS,
+        cache_params: CacheParams = DEFAULT_CACHE_PARAMS,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"fabric dimensions must be positive, got {width}x{height}")
+        if bank_ratio <= 0:
+            raise ValueError(f"bank_ratio must be positive, got {bank_ratio}")
+        self.width = width
+        self.height = height
+        self.slice_params = slice_params
+        self.cache_params = cache_params
+        self._tiles: Dict[Coordinate, Tile] = {}
+        self._allocations: Dict[int, Allocation] = {}
+        next_slice = 0
+        next_bank = 0
+        for y in range(height):
+            for x in range(width):
+                position = (x, y)
+                # Interleave: one Slice for every `bank_ratio` banks.
+                if (x + y * width) % (bank_ratio + 1) == 0:
+                    unit = Slice(
+                        slice_id=next_slice,
+                        position=position,
+                        params=slice_params,
+                        cache_params=cache_params,
+                    )
+                    self._tiles[position] = Tile(
+                        kind=TileKind.SLICE, position=position, slice_unit=unit
+                    )
+                    next_slice += 1
+                else:
+                    bank = CacheBank(
+                        level=cache_params.l2_bank,
+                        bank_id=next_bank,
+                        params=cache_params,
+                    )
+                    self._tiles[position] = Tile(
+                        kind=TileKind.L2_BANK, position=position, bank=bank
+                    )
+                    next_bank += 1
+
+    @property
+    def tiles(self) -> Dict[Coordinate, Tile]:
+        return self._tiles
+
+    def tile(self, position: Coordinate) -> Tile:
+        try:
+            return self._tiles[position]
+        except KeyError:
+            raise KeyError(f"no tile at {position}") from None
+
+    def count_free(self, kind: TileKind) -> int:
+        return sum(
+            1 for tile in self._tiles.values() if tile.kind is kind and tile.is_free
+        )
+
+    def _free_positions(self, kind: TileKind) -> List[Coordinate]:
+        return [
+            position
+            for position, tile in self._tiles.items()
+            if tile.kind is kind and tile.is_free
+        ]
+
+    def _neighbors(self, position: Coordinate) -> List[Coordinate]:
+        x, y = position
+        out = []
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                out.append((nx, ny))
+        return out
+
+    def _grow_region(
+        self, seed: Coordinate, need_slices: int, need_banks: int
+    ) -> Optional[Tuple[List[Coordinate], List[Coordinate]]]:
+        """Grow a compact region from ``seed`` with the needed tile mix.
+
+        Best-first growth by distance to the seed keeps the region
+        near-square, minimizing operand and cache distances.
+        """
+        slices: List[Coordinate] = []
+        banks: List[Coordinate] = []
+        visited: Set[Coordinate] = set()
+        frontier: List[Tuple[int, Coordinate]] = [(0, seed)]
+        while frontier and (len(slices) < need_slices or len(banks) < need_banks):
+            _, position = heapq.heappop(frontier)
+            if position in visited:
+                continue
+            visited.add(position)
+            tile = self._tiles[position]
+            if tile.is_free:
+                if tile.kind is TileKind.SLICE and len(slices) < need_slices:
+                    slices.append(position)
+                elif tile.kind is TileKind.L2_BANK and len(banks) < need_banks:
+                    banks.append(position)
+            for neighbor in self._neighbors(position):
+                if neighbor not in visited:
+                    heapq.heappush(
+                        frontier, (manhattan(seed, neighbor), neighbor)
+                    )
+        if len(slices) < need_slices or len(banks) < need_banks:
+            return None
+        return slices, banks
+
+    def allocate(self, vcore_id: int, config: VCoreConfig) -> Allocation:
+        """Allocate a virtual core; raises :class:`FabricError` if full."""
+        if vcore_id in self._allocations:
+            raise FabricError(f"vcore {vcore_id} already allocated")
+        need_slices = config.slices
+        need_banks = config.l2_banks
+        if self.count_free(TileKind.SLICE) < need_slices:
+            raise FabricError(
+                f"need {need_slices} free Slices, have "
+                f"{self.count_free(TileKind.SLICE)}"
+            )
+        if self.count_free(TileKind.L2_BANK) < need_banks:
+            raise FabricError(
+                f"need {need_banks} free banks, have "
+                f"{self.count_free(TileKind.L2_BANK)}"
+            )
+        best: Optional[Tuple[List[Coordinate], List[Coordinate]]] = None
+        best_span = None
+        for seed in self._free_positions(TileKind.SLICE):
+            region = self._grow_region(seed, need_slices, need_banks)
+            if region is None:
+                continue
+            slices, banks = region
+            span = max(
+                manhattan(seed, position) for position in slices + banks
+            )
+            if best_span is None or span < best_span:
+                best, best_span = region, span
+                if span <= 1:
+                    break
+        if best is None:
+            raise FabricError(
+                f"fabric too fragmented for {config}; rescheduling of "
+                "existing virtual cores is required"
+            )
+        slices, banks = best
+        for position in slices + banks:
+            self._tiles[position].owner_vcore = vcore_id
+        for position in slices:
+            self._tiles[position].slice_unit.owner_vcore = vcore_id
+        allocation = Allocation(
+            vcore_id=vcore_id,
+            config=config,
+            slice_positions=tuple(slices),
+            bank_positions=tuple(banks),
+        )
+        self._allocations[vcore_id] = allocation
+        return allocation
+
+    def release(self, vcore_id: int) -> None:
+        allocation = self._allocations.pop(vcore_id, None)
+        if allocation is None:
+            raise FabricError(f"vcore {vcore_id} is not allocated")
+        for position in allocation.positions:
+            tile = self._tiles[position]
+            tile.owner_vcore = None
+            if tile.slice_unit is not None:
+                tile.slice_unit.owner_vcore = None
+
+    def reallocate(self, vcore_id: int, config: VCoreConfig) -> Allocation:
+        """Resize a virtual core (release + allocate, keeping the id)."""
+        self.release(vcore_id)
+        return self.allocate(vcore_id, config)
+
+    def allocation(self, vcore_id: int) -> Allocation:
+        try:
+            return self._allocations[vcore_id]
+        except KeyError:
+            raise FabricError(f"vcore {vcore_id} is not allocated") from None
+
+    @property
+    def allocations(self) -> Dict[int, Allocation]:
+        return dict(self._allocations)
+
+    def utilization(self) -> float:
+        total = len(self._tiles)
+        used = sum(1 for tile in self._tiles.values() if not tile.is_free)
+        return used / total if total else 0.0
+
+    def defragment(self) -> int:
+        """Re-pack all allocations compactly; returns vcores moved.
+
+        Because Slices are interchangeable (Section III-A), fixing
+        fragmentation is just rescheduling: release everything and
+        re-allocate each virtual core in descending size order.
+        """
+        allocations = sorted(
+            self._allocations.values(),
+            key=lambda a: a.config.tiles,
+            reverse=True,
+        )
+        for allocation in allocations:
+            self.release(allocation.vcore_id)
+        moved = 0
+        for allocation in allocations:
+            new = self.allocate(allocation.vcore_id, allocation.config)
+            if set(new.positions) != set(allocation.positions):
+                moved += 1
+        return moved

@@ -1,0 +1,256 @@
+"""On-chip networks of the CASH fabric (Sections III-A and III-B2).
+
+Three switched interconnects matter to this model:
+
+* the **Scalar Operand Network**, which forwards register operands
+  between the Slices of a virtual core;
+* the **L2 memory network**, which carries cache refills and dirty-line
+  flushes (its width bounds flush bandwidth, Section VI-A);
+* the **CASH Runtime Interface Network**, newly added by CASH, which
+  carries timestamped performance-counter request/reply messages and
+  EXPAND/SHRINK reconfiguration commands from the runtime Slice to any
+  other Slice or cache bank.
+
+The networks are modelled at message granularity with per-hop latency;
+this is what the cycle-level simulator and the reconfiguration engine
+charge for remote communication.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.counters import CounterKind, CounterSample, PerformanceCounters
+
+Coordinate = Tuple[int, int]
+
+
+def manhattan(a: Coordinate, b: Coordinate) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class MessagePriority(enum.IntEnum):
+    """Runtime-interface traffic is prioritized over bulk data."""
+
+    CONTROL = 0
+    OPERAND = 1
+    DATA = 2
+
+
+@dataclass(order=True)
+class _InFlight:
+    deliver_at: int
+    sequence: int
+    payload: object = field(compare=False)
+    deliver: Optional[Callable[[object], None]] = field(compare=False, default=None)
+
+
+class SwitchedNetwork:
+    """A mesh-routed, per-hop-latency message network.
+
+    Messages are injected with source/destination coordinates and are
+    delivered (optionally to a callback) after ``hops * hop_latency +
+    router_latency`` cycles.  :meth:`advance` drains everything due by
+    the given cycle.
+    """
+
+    def __init__(self, hop_latency: int = 1, router_latency: int = 1) -> None:
+        if hop_latency <= 0:
+            raise ValueError("hop_latency must be positive")
+        if router_latency < 0:
+            raise ValueError("router_latency must be non-negative")
+        self.hop_latency = hop_latency
+        self.router_latency = router_latency
+        self._queue: List[_InFlight] = []
+        self._sequence = 0
+        self.messages_sent = 0
+        self.total_hops = 0
+
+    def latency(self, src: Coordinate, dst: Coordinate) -> int:
+        return manhattan(src, dst) * self.hop_latency + self.router_latency
+
+    def send(
+        self,
+        src: Coordinate,
+        dst: Coordinate,
+        payload: object,
+        now: int,
+        deliver: Optional[Callable[[object], None]] = None,
+    ) -> int:
+        """Inject a message at cycle ``now``; returns its delivery cycle."""
+        if now < 0:
+            raise ValueError(f"now must be non-negative, got {now}")
+        arrival = now + self.latency(src, dst)
+        self._sequence += 1
+        heapq.heappush(
+            self._queue,
+            _InFlight(
+                deliver_at=arrival,
+                sequence=self._sequence,
+                payload=payload,
+                deliver=deliver,
+            ),
+        )
+        self.messages_sent += 1
+        self.total_hops += manhattan(src, dst)
+        return arrival
+
+    def advance(self, now: int) -> List[object]:
+        """Deliver all messages due at or before cycle ``now``."""
+        delivered: List[object] = []
+        while self._queue and self._queue[0].deliver_at <= now:
+            msg = heapq.heappop(self._queue)
+            if msg.deliver is not None:
+                msg.deliver(msg.payload)
+            delivered.append(msg.payload)
+        return delivered
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+
+class OperandNetwork(SwitchedNetwork):
+    """The Scalar Operand Network between Slices of a virtual core."""
+
+    def forward_operand(
+        self, src: Coordinate, dst: Coordinate, value: int, now: int
+    ) -> int:
+        return self.send(src, dst, ("operand", value), now)
+
+
+@dataclass(frozen=True)
+class CounterRequest:
+    """A runtime request to read a counter on a remote Slice."""
+
+    requester: Coordinate
+    target_slice: int
+    kind: CounterKind
+    issued_at: int
+
+
+@dataclass(frozen=True)
+class CounterReply:
+    """The timestamped reply to a :class:`CounterRequest`."""
+
+    request: CounterRequest
+    sample: CounterSample
+    delivered_at: int
+
+    @property
+    def round_trip_cycles(self) -> int:
+        return self.delivered_at - self.request.issued_at
+
+
+@dataclass(frozen=True)
+class PrivilegeError(Exception):
+    """Raised when an unprivileged VCore uses the runtime network."""
+
+    requester: Coordinate
+
+
+class RuntimeInterfaceNetwork:
+    """The dedicated network for monitoring and reconfiguration.
+
+    The runtime — a virtual core with sufficiently high privilege —
+    queries performance counters on other Slices with a simple
+    request/reply protocol, and sends EXPAND/SHRINK commands targeting
+    particular Slices or L2 banks (Section III-B2).
+    """
+
+    def __init__(self, hop_latency: int = 1, router_latency: int = 1) -> None:
+        self._net = SwitchedNetwork(hop_latency, router_latency)
+        self._slices: Dict[int, Tuple[Coordinate, PerformanceCounters]] = {}
+        self._privileged: set = set()
+        self.replies_delivered = 0
+
+    def register_slice(
+        self,
+        slice_id: int,
+        position: Coordinate,
+        counters: PerformanceCounters,
+    ) -> None:
+        if slice_id in self._slices:
+            raise ValueError(f"slice {slice_id} already registered")
+        self._slices[slice_id] = (position, counters)
+
+    def unregister_slice(self, slice_id: int) -> None:
+        self._slices.pop(slice_id, None)
+
+    def grant_privilege(self, position: Coordinate) -> None:
+        """Mark the VCore at ``position`` as a runtime (privileged) core."""
+        self._privileged.add(position)
+
+    def revoke_privilege(self, position: Coordinate) -> None:
+        self._privileged.discard(position)
+
+    def is_privileged(self, position: Coordinate) -> bool:
+        return position in self._privileged
+
+    def request_counter(
+        self,
+        requester: Coordinate,
+        target_slice: int,
+        kind: CounterKind,
+        now: int,
+    ) -> CounterReply:
+        """Read a counter on a remote Slice; returns the timestamped reply.
+
+        The full round trip (request there, reply back) is modelled; the
+        sample's timestamp is the cycle at which the remote Slice read
+        its counter, so the runtime can reconcile skewed samples.
+        """
+        if requester not in self._privileged:
+            raise PrivilegeError(requester)
+        if target_slice not in self._slices:
+            raise KeyError(f"no slice {target_slice} on the runtime network")
+        position, counters = self._slices[target_slice]
+        request = CounterRequest(
+            requester=requester,
+            target_slice=target_slice,
+            kind=kind,
+            issued_at=now,
+        )
+        arrive_at_target = self._net.send(requester, position, request, now)
+        sample = counters.read(kind, timestamp=arrive_at_target)
+        delivered_at = self._net.send(position, requester, sample, arrive_at_target)
+        self._net.advance(delivered_at)
+        self.replies_delivered += 1
+        return CounterReply(
+            request=request, sample=sample, delivered_at=delivered_at
+        )
+
+    def read_vcore(
+        self,
+        requester: Coordinate,
+        slice_ids: List[int],
+        kinds: List[CounterKind],
+        now: int,
+    ) -> List[CounterReply]:
+        """Query several counters across the Slices of a target VCore."""
+        replies = []
+        for slice_id in slice_ids:
+            for kind in kinds:
+                replies.append(
+                    self.request_counter(requester, slice_id, kind, now)
+                )
+        return replies
+
+    def send_command(
+        self,
+        requester: Coordinate,
+        target: Coordinate,
+        command: object,
+        now: int,
+    ) -> int:
+        """Send a reconfiguration command; returns its arrival cycle."""
+        if requester not in self._privileged:
+            raise PrivilegeError(requester)
+        return self._net.send(requester, target, command, now)
+
+    @property
+    def messages_sent(self) -> int:
+        return self._net.messages_sent

@@ -1,0 +1,155 @@
+"""Architectural parameter records (Tables I and II of the paper).
+
+These dataclasses capture the base Slice and cache configurations used by
+both the cycle-level simulator (:mod:`repro.sim.pipeline`) and the fast
+analytic performance model (:mod:`repro.sim.perfmodel`).  They are frozen:
+an experiment that wants different hardware builds a new record with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SliceParams:
+    """Base Slice configuration (Table I).
+
+    A Slice is a simple out-of-order core with one ALU, one load/store
+    unit, a two-wide fetch, and a small L1.  All sizes are per Slice
+    unless stated otherwise.
+    """
+
+    functional_units: int = 2
+    """Number of functional units per Slice (1 ALU + 1 LSU)."""
+
+    physical_registers: int = 128
+    """Number of global physical (logical-name-space) registers."""
+
+    local_registers: int = 64
+    """Number of local storage registers per Slice."""
+
+    issue_window: int = 32
+    """Issue window entries per Slice."""
+
+    load_store_queue: int = 32
+    """Load/store queue entries per Slice."""
+
+    rob_size: int = 64
+    """Reorder buffer entries per Slice."""
+
+    store_buffer: int = 8
+    """Store buffer entries per Slice."""
+
+    max_inflight_loads: int = 8
+    """Maximum number of in-flight loads per Slice."""
+
+    memory_delay: int = 100
+    """Main memory access delay in cycles."""
+
+    fetch_width: int = 2
+    """Instructions fetched per cycle per Slice."""
+
+    commit_width: int = 2
+    """Instructions committed per cycle per Slice."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "functional_units",
+            "physical_registers",
+            "local_registers",
+            "issue_window",
+            "load_store_queue",
+            "rob_size",
+            "store_buffer",
+            "max_inflight_loads",
+            "memory_delay",
+            "fetch_width",
+            "commit_width",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.local_registers > self.physical_registers:
+            raise ValueError(
+                "local registers per Slice cannot exceed the global "
+                f"physical register count ({self.local_registers} > "
+                f"{self.physical_registers})"
+            )
+
+
+@dataclass(frozen=True)
+class CacheLevelParams:
+    """One cache level from Table II."""
+
+    size_kb: int
+    block_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0:
+            raise ValueError(f"size_kb must be positive, got {self.size_kb}")
+        if self.block_bytes <= 0:
+            raise ValueError(
+                f"block_bytes must be positive, got {self.block_bytes}"
+            )
+        if self.associativity <= 0:
+            raise ValueError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        blocks = self.size_kb * 1024 // self.block_bytes
+        if blocks % self.associativity:
+            raise ValueError(
+                f"{blocks} blocks not divisible by associativity "
+                f"{self.associativity}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_kb * 1024
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Base cache configuration (Table II).
+
+    L1 hit delay is fixed; the L2 hit delay depends on the Manhattan
+    distance from the requesting Slice to the cache bank
+    (``distance * 2 + 4`` cycles, see :func:`repro.arch.cache.l2_hit_delay`).
+    """
+
+    l1d: CacheLevelParams = CacheLevelParams(size_kb=16, block_bytes=64, associativity=2)
+    l1i: CacheLevelParams = CacheLevelParams(size_kb=16, block_bytes=64, associativity=2)
+    l2_bank: CacheLevelParams = CacheLevelParams(size_kb=64, block_bytes=64, associativity=4)
+    l1_hit_delay: int = 3
+    l2_base_delay: int = 4
+    l2_delay_per_hop: int = 2
+    network_width_bytes: int = 8
+    """Width of the L2 flush network in bytes (64 bits)."""
+
+    def __post_init__(self) -> None:
+        if self.l1_hit_delay <= 0:
+            raise ValueError("l1_hit_delay must be positive")
+        if self.l2_base_delay <= 0:
+            raise ValueError("l2_base_delay must be positive")
+        if self.l2_delay_per_hop <= 0:
+            raise ValueError("l2_delay_per_hop must be positive")
+        if self.network_width_bytes <= 0:
+            raise ValueError("network_width_bytes must be positive")
+
+    @property
+    def l2_bank_kb(self) -> int:
+        return self.l2_bank.size_kb
+
+
+DEFAULT_SLICE_PARAMS = SliceParams()
+DEFAULT_CACHE_PARAMS = CacheParams()

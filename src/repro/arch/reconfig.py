@@ -1,0 +1,244 @@
+"""Reconfiguration commands and their cycle costs (Sections III-B, VI-A).
+
+The runtime reshapes a virtual core by sending EXPAND / SHRINK commands
+over the CASH Runtime Interface Network, targeting individual Slices or
+L2 banks.  The four microarchitectural overheads are:
+
+* **Slice expansion** — only a pipeline flush, ~15 cycles;
+* **Slice contraction** — at most 64 cycles more than expansion, to
+  flush primary register values to the surviving Slices (bounded by the
+  local register count);
+* **L2 expansion** — the bank arrives empty; the address-hash remap is
+  overlapped with execution, so the visible cost is a pipeline flush;
+* **L2 contraction** — dirty lines stream to memory over the L2
+  network: worst case ``BankSize / NetworkWidth`` cycles per bank
+  (8000 for a 64 KB bank over a 64-bit network).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.params import CacheParams, SliceParams
+from repro.arch.params import DEFAULT_CACHE_PARAMS, DEFAULT_SLICE_PARAMS
+from repro.arch.registers import DistributedRegisterFile, FlushRecord
+from repro.arch.vcore import VCoreConfig
+
+
+class ReconfigKind(enum.Enum):
+    SLICE_EXPAND = "slice_expand"
+    SLICE_SHRINK = "slice_shrink"
+    L2_EXPAND = "l2_expand"
+    L2_SHRINK = "l2_shrink"
+
+
+@dataclass(frozen=True)
+class ReconfigCommand:
+    """One EXPAND/SHRINK command targeting a Slice or bank count delta."""
+
+    kind: ReconfigKind
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class ReconfigCostModel:
+    """Closed-form cycle costs of the four reconfiguration primitives."""
+
+    slice_params: SliceParams = DEFAULT_SLICE_PARAMS
+    cache_params: CacheParams = DEFAULT_CACHE_PARAMS
+    dirty_fraction: float = 1.0
+    """Fraction of L2 lines assumed dirty when costing a bank flush.
+
+    Section VI-A notes 8000 cycles is the worst case; in practice only a
+    small number of lines are dirty.  Experiments that want the
+    optimistic model lower this.
+    """
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dirty_fraction <= 1.0:
+            raise ValueError(
+                f"dirty_fraction must be in [0, 1], got {self.dirty_fraction}"
+            )
+
+    def pipeline_flush_cycles(self) -> int:
+        """~15 cycles: drain the pipeline and redirect the front end."""
+        depth = 7
+        drain = self.slice_params.rob_size // (self.slice_params.commit_width * 4)
+        return depth + drain
+
+    def slice_expand_cycles(self, count: int = 1) -> int:
+        """Adding Slices costs a single pipeline flush (they join empty)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return self.pipeline_flush_cycles()
+
+    def register_flush_cycles(self, flushed_values: Optional[int] = None) -> int:
+        """Cycles to push primary register values to survivors.
+
+        One operand-forwarding message per value; bounded by the local
+        register count of a departing Slice (64 by Table I).
+        """
+        bound = self.slice_params.local_registers
+        if flushed_values is None:
+            return bound
+        if flushed_values < 0:
+            raise ValueError(
+                f"flushed_values must be non-negative, got {flushed_values}"
+            )
+        return min(flushed_values, bound)
+
+    def slice_shrink_cycles(
+        self, count: int = 1, flushed_values: Optional[int] = None
+    ) -> int:
+        """Expansion cost plus at most 64 cycles of register flushing."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return self.pipeline_flush_cycles() + self.register_flush_cycles(
+            flushed_values
+        )
+
+    def l2_bank_flush_cycles(self) -> int:
+        """Cycles to flush one bank at the assumed dirty fraction."""
+        worst = (
+            self.cache_params.l2_bank.size_bytes
+            // self.cache_params.network_width_bytes
+        )
+        return int(round(worst * self.dirty_fraction))
+
+    def l2_expand_cycles(self, banks: int = 1) -> int:
+        """New banks arrive empty; hash remap overlaps with execution."""
+        if banks <= 0:
+            raise ValueError(f"banks must be positive, got {banks}")
+        return self.pipeline_flush_cycles()
+
+    def l2_shrink_cycles(self, banks: int = 1) -> int:
+        """Banks flush in parallel over independent network links."""
+        if banks <= 0:
+            raise ValueError(f"banks must be positive, got {banks}")
+        return self.l2_bank_flush_cycles()
+
+    def transition_cycles(self, old: VCoreConfig, new: VCoreConfig) -> int:
+        """Total overhead of moving a VCore from ``old`` to ``new``.
+
+        Slice and L2 reshaping proceed concurrently (the L2 flush is
+        overlapped with the register flush and pipeline restart), so the
+        cost is the maximum of the two components.
+        """
+        slice_cost = 0
+        if new.slices > old.slices:
+            slice_cost = self.slice_expand_cycles(new.slices - old.slices)
+        elif new.slices < old.slices:
+            slice_cost = self.slice_shrink_cycles(old.slices - new.slices)
+        l2_cost = 0
+        if new.l2_banks > old.l2_banks:
+            l2_cost = self.l2_expand_cycles(new.l2_banks - old.l2_banks)
+        elif new.l2_banks < old.l2_banks:
+            l2_cost = self.l2_shrink_cycles(old.l2_banks - new.l2_banks)
+        return max(slice_cost, l2_cost)
+
+
+DEFAULT_RECONFIG_COSTS = ReconfigCostModel()
+
+
+@dataclass(frozen=True)
+class ReconfigResult:
+    """Outcome of one applied reconfiguration."""
+
+    old: VCoreConfig
+    new: VCoreConfig
+    commands: List[ReconfigCommand]
+    overhead_cycles: int
+    flush: Optional[FlushRecord] = None
+
+
+class ReconfigEngine:
+    """Applies configuration transitions and accounts for their cost.
+
+    The engine optionally owns a :class:`DistributedRegisterFile` whose
+    state it carries across Slice shrinks — this is how the cycle-level
+    tests demonstrate that architectural register state survives
+    reconfiguration.
+    """
+
+    def __init__(
+        self,
+        initial: VCoreConfig,
+        cost_model: ReconfigCostModel = DEFAULT_RECONFIG_COSTS,
+        register_file: Optional[DistributedRegisterFile] = None,
+    ) -> None:
+        self.current = initial
+        self.cost_model = cost_model
+        self.register_file = register_file
+        self.total_overhead_cycles = 0
+        self.history: List[ReconfigResult] = []
+
+    @staticmethod
+    def commands_for(old: VCoreConfig, new: VCoreConfig) -> List[ReconfigCommand]:
+        commands: List[ReconfigCommand] = []
+        if new.slices > old.slices:
+            commands.append(
+                ReconfigCommand(ReconfigKind.SLICE_EXPAND, new.slices - old.slices)
+            )
+        elif new.slices < old.slices:
+            commands.append(
+                ReconfigCommand(ReconfigKind.SLICE_SHRINK, old.slices - new.slices)
+            )
+        if new.l2_banks > old.l2_banks:
+            commands.append(
+                ReconfigCommand(ReconfigKind.L2_EXPAND, new.l2_banks - old.l2_banks)
+            )
+        elif new.l2_banks < old.l2_banks:
+            commands.append(
+                ReconfigCommand(ReconfigKind.L2_SHRINK, old.l2_banks - new.l2_banks)
+            )
+        return commands
+
+    def apply(self, new: VCoreConfig) -> ReconfigResult:
+        """Reconfigure to ``new``; returns the accounted result."""
+        old = self.current
+        commands = self.commands_for(old, new)
+        flush: Optional[FlushRecord] = None
+        if self.register_file is not None:
+            if new.slices > old.slices:
+                existing = self.register_file.slice_ids
+                start = max(existing) + 1
+                self.register_file.expand(
+                    range(start, start + new.slices - old.slices)
+                )
+            elif new.slices < old.slices:
+                survivors = self.register_file.slice_ids[: new.slices]
+                flush = self.register_file.shrink(survivors)
+        if flush is not None:
+            slice_cost = (
+                self.cost_model.pipeline_flush_cycles()
+                + self.cost_model.register_flush_cycles(flush.messages)
+            )
+            l2_cost = 0
+            if new.l2_banks > old.l2_banks:
+                l2_cost = self.cost_model.l2_expand_cycles(
+                    new.l2_banks - old.l2_banks
+                )
+            elif new.l2_banks < old.l2_banks:
+                l2_cost = self.cost_model.l2_shrink_cycles(
+                    old.l2_banks - new.l2_banks
+                )
+            overhead = max(slice_cost, l2_cost)
+        else:
+            overhead = self.cost_model.transition_cycles(old, new)
+        result = ReconfigResult(
+            old=old,
+            new=new,
+            commands=commands,
+            overhead_cycles=overhead,
+            flush=flush,
+        )
+        self.current = new
+        self.total_overhead_cycles += overhead
+        self.history.append(result)
+        return result

@@ -1,0 +1,70 @@
+"""The Slice: the basic unit of computation in the CASH fabric.
+
+A Slice is a simple out-of-order processor with one ALU, one load/store
+unit, a two-wide fetch, and a small L1 (Fig. 4, Table I).  At this
+(architectural) level a Slice is an allocatable tile carrying its
+pipeline parameters, a performance-counter block, and its position on
+the fabric; the cycle-level behaviour lives in
+:mod:`repro.sim.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.arch.counters import PerformanceCounters
+from repro.arch.params import CacheParams, SliceParams
+from repro.arch.params import DEFAULT_CACHE_PARAMS, DEFAULT_SLICE_PARAMS
+
+
+@dataclass
+class Slice:
+    """One Slice tile on the fabric."""
+
+    slice_id: int
+    position: Tuple[int, int] = (0, 0)
+    params: SliceParams = DEFAULT_SLICE_PARAMS
+    cache_params: CacheParams = DEFAULT_CACHE_PARAMS
+    owner_vcore: Optional[int] = None
+    is_runtime_slice: bool = False
+    counters: PerformanceCounters = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.slice_id < 0:
+            raise ValueError(f"slice_id must be non-negative, got {self.slice_id}")
+        if self.counters is None:
+            self.counters = PerformanceCounters(self.slice_id)
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.owner_vcore is not None
+
+    def allocate(self, vcore_id: int) -> None:
+        if self.is_allocated:
+            raise ValueError(
+                f"slice {self.slice_id} already owned by vcore {self.owner_vcore}"
+            )
+        self.owner_vcore = vcore_id
+
+    def release(self) -> None:
+        self.owner_vcore = None
+
+    def pipeline_flush_cycles(self) -> int:
+        """Cycles to flush the pipeline on reconfiguration (~15).
+
+        A Slice joining a virtual core (EXPAND) only needs a pipeline
+        flush: in-flight instructions drain from the ROB and the front
+        end redirects (Section VI-A).
+        """
+        # Depth of the pipeline (fetch, decode, two rename stages,
+        # issue, execute, memory, commit) plus draining the typical
+        # in-flight ROB occupancy at commit width.
+        depth = 7
+        drain = self.params.rob_size // (self.params.commit_width * 4)
+        return depth + drain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = f", vcore={self.owner_vcore}" if self.is_allocated else ""
+        runtime = ", runtime" if self.is_runtime_slice else ""
+        return f"Slice({self.slice_id}@{self.position}{owner}{runtime})"

@@ -1,0 +1,32 @@
+"""Comparison resource allocators and architectures (Sections II-B, VI).
+
+* :mod:`repro.baselines.oracle` — brute-force optimal allocation with
+  perfect phase knowledge (the paper's oracle, Section V-C);
+* :mod:`repro.baselines.race` — race-to-idle with a-priori worst-case
+  knowledge (idling is optimistically free);
+* :mod:`repro.baselines.convex` — feedback control over a single convex
+  average-case model (no learning, no phase estimation);
+* :mod:`repro.baselines.heterogeneous` — the coarse-grain big.LITTLE
+  architecture: a fixed {little, big} configuration menu (Section VI-E).
+"""
+
+from repro.baselines.oracle import OracleAllocator, build_oracle_table
+from repro.baselines.race import RaceToIdleAllocator, worst_case_config
+from repro.baselines.convex import ConvexOptimizationAllocator, average_points
+from repro.baselines.heterogeneous import (
+    BIG_CONFIG,
+    LITTLE_CONFIG,
+    coarse_grain_space,
+)
+
+__all__ = [
+    "OracleAllocator",
+    "build_oracle_table",
+    "RaceToIdleAllocator",
+    "worst_case_config",
+    "ConvexOptimizationAllocator",
+    "average_points",
+    "BIG_CONFIG",
+    "LITTLE_CONFIG",
+    "coarse_grain_space",
+]

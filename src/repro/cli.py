@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --app x264 --allocator cash --intervals 1000
+    python -m repro figure tab3
+    python -m repro export --outdir data/
+    python -m repro overheads
+
+``figure`` prints the artefact's rows; ``export`` writes plottable
+``.tsv`` series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import cost_table, per_app_table, timeseries_table
+from repro.experiments.scenarios import (
+    ALLOCATOR_KINDS,
+    apache_timeseries,
+    compare_allocators,
+    compare_architectures,
+    run_app_with_allocator,
+    x264_timeseries,
+)
+from repro.workloads.apps import APP_NAMES
+
+FIGURES = ("fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "tab3", "sec6a")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("applications:")
+    for name in APP_NAMES:
+        print(f"  {name}")
+    print("allocators:")
+    for kind, label in ALLOCATOR_KINDS:
+        print(f"  {kind:<8} ({label})")
+    print("figures/tables:", ", ".join(FIGURES))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_app_with_allocator(
+        args.app, args.allocator, intervals=args.intervals, seed=args.seed
+    )
+    print(
+        f"{result.app_name} / {result.allocator_name}: "
+        f"${result.cost_dollars:.4f}/hr at "
+        f"{result.violation_percent:.1f}% QoS violations "
+        f"({result.num_intervals} intervals, goal {result.qos_goal:.3f})"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig1":
+        from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+        from repro.workloads.apps import make_x264
+
+        app = make_x264()
+        for index, phase in enumerate(app.phases, start=1):
+            best, ipc = DEFAULT_PERF_MODEL.best_config(phase, DEFAULT_CONFIG_SPACE)
+            maxima = DEFAULT_PERF_MODEL.local_maxima(phase, DEFAULT_CONFIG_SPACE)
+            distinct = len([c for c in maxima if c != best])
+            print(
+                f"phase {index:>2}: optimum {str(best):>9} ipc {ipc:5.2f} "
+                f"distinct local optima {distinct}"
+            )
+    elif name in ("fig2", "fig8"):
+        print(timeseries_table(x264_timeseries(intervals=args.intervals or 220)))
+    elif name == "fig9":
+        results = apache_timeseries(intervals=args.intervals or 112)
+        print(timeseries_table(results, stride=8))
+    elif name in ("fig7", "tab3"):
+        results = compare_allocators(intervals=args.intervals or 1000)
+        print(cost_table(results))
+        print()
+        print(per_app_table(results))
+    elif name == "fig10":
+        results = compare_architectures(intervals=args.intervals or 1000)
+        print(per_app_table(results))
+    elif name == "sec6a":
+        return _cmd_overheads(args)
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_overheads(_args: argparse.Namespace) -> int:
+    from repro.arch.reconfig import DEFAULT_RECONFIG_COSTS
+    from repro.sim.ssim import SSim
+
+    costs = DEFAULT_RECONFIG_COSTS
+    print(f"Slice expansion:           {costs.slice_expand_cycles()} cycles (paper ~15)")
+    print(f"Slice contraction (worst): {costs.slice_shrink_cycles()} cycles (paper <= 79)")
+    print(f"L2 bank flush (worst):     {costs.l2_bank_flush_cycles()} cycles (paper 8000, rounded)")
+    ssim = SSim()
+    for slices, paper in ((1, 2000), (2, 1100), (3, 977)):
+        cycles = ssim.runtime_iteration_cycles(slices=slices)
+        print(
+            f"runtime iteration, {slices} Slice(s): {cycles:.0f} cycles "
+            f"(paper ~{paper})"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import EXPORTERS, export_all
+
+    if args.name:
+        paths = EXPORTERS[args.name](args.outdir)
+    else:
+        paths = export_all(args.outdir)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce CASH (ISCA 2016): figures, tables, runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications, allocators, figures")
+
+    run_parser = sub.add_parser("run", help="run one (app, allocator) cell")
+    run_parser.add_argument("--app", choices=APP_NAMES, required=True)
+    run_parser.add_argument(
+        "--allocator",
+        choices=[kind for kind, _ in ALLOCATOR_KINDS],
+        default="cash",
+    )
+    run_parser.add_argument("--intervals", type=int, default=1000)
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    figure_parser = sub.add_parser("figure", help="print a paper artefact")
+    figure_parser.add_argument("name", choices=FIGURES)
+    figure_parser.add_argument("--intervals", type=int, default=None)
+
+    sub.add_parser("overheads", help="Section VI-A overhead microbenchmarks")
+
+    export_parser = sub.add_parser("export", help="write .tsv data files")
+    export_parser.add_argument("--outdir", default="data")
+    export_parser.add_argument(
+        "--name", choices=sorted(set(FIGURES) - {"fig2", "sec6a"}), default=None
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "overheads": _cmd_overheads,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

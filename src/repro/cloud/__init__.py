@@ -1,0 +1,39 @@
+"""Multi-tenant IaaS provider layer.
+
+The paper's setting is an IaaS cloud: a chip with hundreds of Slices
+and cache banks, rented at sub-core granularity to many customers at
+once, each running the CASH runtime against their own QoS target
+(Section I argues deployment "would then also benefit cloud providers
+by attracting more customers").  This subpackage builds that setting on
+top of the architecture and runtime layers:
+
+* :mod:`repro.cloud.tenant` — a tenant: an application, a QoS target,
+  an allocator policy, and per-tenant accounting;
+* :mod:`repro.cloud.provider` — the provider simulation: tenants share
+  one :class:`~repro.arch.fabric.Fabric`; each control interval every
+  tenant's runtime picks a schedule, the provider places the peak
+  footprint spatially (defragmenting when fragmentation blocks a
+  resize), and bills by area-time;
+* :mod:`repro.cloud.admission` — worst-case-footprint admission
+  control.
+
+Because CASH isolates tenants spatially (own Slices, own banks — the
+paper's answer to SMT-style resource thrashing), tenants do not disturb
+each other's performance; what they contend for is *capacity*.  The
+provider-level payoff of fine-grain adaptivity is density: CASH tenants
+release what they do not need, so more customers fit on the same
+silicon at the same QoS.
+"""
+
+from repro.cloud.tenant import Tenant, TenantAccount
+from repro.cloud.provider import CloudProvider, ProviderReport
+from repro.cloud.admission import AdmissionController, AdmissionDecision
+
+__all__ = [
+    "Tenant",
+    "TenantAccount",
+    "CloudProvider",
+    "ProviderReport",
+    "AdmissionController",
+    "AdmissionDecision",
+]

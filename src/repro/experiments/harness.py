@@ -1,0 +1,724 @@
+"""Closed-loop evaluation harness on the fast SSim tier.
+
+The harness advances an application interval by interval.  Each
+interval it asks the allocator for a schedule (one or two configuration
+legs plus idle), executes the legs against the analytic performance
+model — crossing phase boundaries exactly, charging reconfiguration
+stalls, and accruing rental cost — then reports the measured QoS (with
+measurement noise) back to the allocator.  This mirrors the paper's
+methodology of sampling performance 1000 times per application and
+recording total cost and QoS violations (Section VI-C).
+
+Cost convention: the paper's "Cost ($)" magnitudes (Table III, Figs. 7
+and 10) correspond to one hour of sustained execution at the measured
+average $/hour rate, so :attr:`RunResult.cost_dollars` is the
+time-weighted mean cost rate × 1 hour.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
+from repro.arch.reconfig import ReconfigCostModel, DEFAULT_RECONFIG_COSTS
+from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
+from repro.runtime.cash import (
+    CASHRuntime,
+    LegObservation,
+    QoSMeasurement,
+    RuntimeDecision,
+)
+from repro.runtime.optimizer import ConfigPoint, Schedule
+from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
+from repro.workloads.phase import Phase, PhasedApplication
+from repro.workloads.requests import OscillatingLoad, RequestTrace
+
+
+class Allocator(Protocol):
+    """What the harness requires of a resource allocator."""
+
+    name: str
+
+    def decide(
+        self,
+        measurement: Optional[QoSMeasurement],
+        true_points: Sequence[ConfigPoint],
+    ) -> Schedule:
+        """Return the schedule for the next interval.
+
+        ``measurement`` is the previous interval's observed QoS (None on
+        the first interval).  ``true_points`` are the ground-truth
+        operating points for the *current* conditions; only omniscient
+        allocators (oracle, race-to-idle) may use them — feedback
+        allocators must rely on ``measurement`` alone.
+        """
+
+
+def qos_target_for(
+    app: PhasedApplication,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    margin: float = 0.88,
+) -> float:
+    """The paper's throughput QoS rule (Section VI-C).
+
+    "The highest worst case IPC": the largest IPC achievable in every
+    phase — i.e. the worst phase's best IPC — backed off by ``margin``
+    so that a non-trivial set of configurations can meet it.
+    """
+    if not 0.0 < margin <= 1.0:
+        raise ValueError(f"margin must be in (0, 1], got {margin}")
+    worst_case_best = min(
+        max(model.ipc(phase, config) for config in space) for phase in app.phases
+    )
+    return worst_case_best * margin
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """Everything observed in one control interval."""
+
+    index: int
+    start_cycle: float
+    phase_name: str
+    schedule: Schedule
+    true_qos: float
+    measured_qos: float
+    active_qos: float
+    cost_rate: float
+    violated: bool
+    reconfig_cycles: int
+    cycles: float = 0.0
+    request_rate: float = 0.0
+
+    @property
+    def configs(self) -> List[VCoreConfig]:
+        return self.schedule.configs()
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of one allocator on one application."""
+
+    app_name: str
+    allocator_name: str
+    qos_goal: float
+    interval_cycles: float
+    records: List[IntervalRecord]
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_cost_rate(self) -> float:
+        """Time-weighted average $/hour over the run."""
+        if not self.records:
+            return 0.0
+        return sum(r.cost_rate for r in self.records) / len(self.records)
+
+    @property
+    def cost_dollars(self) -> float:
+        """Cost of one hour of sustained execution (paper's convention)."""
+        return self.mean_cost_rate
+
+    @property
+    def violation_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.violated for r in self.records) / len(self.records)
+
+    @property
+    def violation_percent(self) -> float:
+        return 100.0 * self.violation_rate
+
+    def cost_rate_series(self) -> List[float]:
+        return [r.cost_rate for r in self.records]
+
+    def normalized_performance_series(self) -> List[float]:
+        """Delivered QoS normalized to the goal, per interval.
+
+        Race-to-idle intervals report their *active* (busy-time) QoS,
+        matching how Fig. 2 plots race-to-idle above the QoS line.
+        """
+        return [
+            (r.active_qos if r.active_qos > 0 else r.true_qos) / self.qos_goal
+            for r in self.records
+        ]
+
+    def time_axis_mcycles(self) -> List[float]:
+        return [r.start_cycle / 1e6 for r in self.records]
+
+
+class _PhaseWalker:
+    """Advances an application's instruction stream through its phases."""
+
+    def __init__(self, app: PhasedApplication) -> None:
+        self.app = app
+        self.offset = 0.0  # instructions into the (wrapping) app
+
+    def current_phase(self) -> Tuple[int, Phase]:
+        return self.app.phase_at_instruction(self.offset)
+
+    def run_cycles(
+        self,
+        cycles: float,
+        ipc_of: Callable[[Phase], float],
+        stop_at_boundary: bool = False,
+    ) -> Tuple[float, float, bool]:
+        """Execute up to ``cycles``; returns (instructions, cycles_used,
+        crossed_boundary).
+
+        Crosses phase boundaries exactly: within a phase the IPC is
+        constant, so the walker advances to whichever comes first — the
+        end of the leg or the end of the phase.  With
+        ``stop_at_boundary`` the walker returns at the first phase
+        boundary, letting the harness end the control interval there
+        (so no sampling interval mixes two phases).
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        executed = 0.0
+        used = 0.0
+        remaining = cycles
+        guard = 0
+        while remaining > 1e-9:
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - defensive
+                raise RuntimeError("phase walker failed to converge")
+            _, phase = self.current_phase()
+            ipc = ipc_of(phase)
+            if ipc <= 0:
+                used += remaining
+                remaining = 0.0
+                break
+            instructions_left = self._instructions_left_in_phase()
+            cycles_to_boundary = instructions_left / ipc
+            step = min(remaining, cycles_to_boundary)
+            self.offset += ipc * step
+            executed += ipc * step
+            used += step
+            remaining -= step
+            if stop_at_boundary and step == cycles_to_boundary:
+                # Nudge across the boundary so the next query sees the
+                # new phase, then report the crossing.
+                self.offset += 1e-6
+                return executed, used, True
+        return executed, used, False
+
+    def _instructions_left_in_phase(self) -> float:
+        total = self.app.total_instructions
+        offset = self.offset % total
+        cursor = 0.0
+        for phase in self.app.phases:
+            if offset < cursor + phase.instructions:
+                return cursor + phase.instructions - offset
+            cursor += phase.instructions
+        return self.app.phases[-1].instructions
+
+
+class ThroughputSimulator:
+    """Closed-loop simulation for throughput-QoS applications."""
+
+    def __init__(
+        self,
+        app: PhasedApplication,
+        qos_goal: float,
+        model: PerformanceModel = DEFAULT_PERF_MODEL,
+        space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        reconfig_costs: ReconfigCostModel = DEFAULT_RECONFIG_COSTS,
+        interval_cycles: float = 1.0e6,
+        noise_std_frac: float = 0.02,
+        violation_margin: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if app.qos_kind != "throughput":
+            raise ValueError(
+                f"{app.name} is a {app.qos_kind} application; use "
+                "LatencySimulator"
+            )
+        if qos_goal <= 0:
+            raise ValueError(f"qos_goal must be positive, got {qos_goal}")
+        if interval_cycles <= 0:
+            raise ValueError(
+                f"interval_cycles must be positive, got {interval_cycles}"
+            )
+        if noise_std_frac < 0:
+            raise ValueError(
+                f"noise_std_frac must be non-negative, got {noise_std_frac}"
+            )
+        if not 0.0 <= violation_margin < 1.0:
+            raise ValueError(
+                f"violation_margin must be in [0, 1), got {violation_margin}"
+            )
+        self.app = app
+        self.qos_goal = qos_goal
+        self.model = model
+        self.space = space
+        self.cost_model = cost_model
+        self.reconfig_costs = reconfig_costs
+        self.interval_cycles = interval_cycles
+        self.noise_std_frac = noise_std_frac
+        self.violation_margin = violation_margin
+        self.seed = seed
+        self._points_cache: Dict[str, List[ConfigPoint]] = {}
+
+    def true_points(self, phase: Phase) -> List[ConfigPoint]:
+        cached = self._points_cache.get(phase.name)
+        if cached is not None:
+            return cached
+        points = [
+            ConfigPoint(
+                config=config,
+                speedup=self.model.ipc(phase, config),
+                cost_rate=config.cost_rate(self.cost_model),
+            )
+            for config in self.space
+        ]
+        self._points_cache[phase.name] = points
+        return points
+
+    def run(
+        self,
+        allocator: Allocator,
+        intervals: int = 1000,
+        warmup_intervals: int = 0,
+    ) -> RunResult:
+        """Run ``intervals`` recorded samples, after an optional warmup.
+
+        Warmup intervals execute identically (the allocator sees them
+        and learns from them) but are not recorded — the paper's
+        1000-sample measurements describe steady-state operation, after
+        the runtime has seen the application's phases at least once.
+        """
+        if intervals <= 0:
+            raise ValueError(f"intervals must be positive, got {intervals}")
+        if warmup_intervals < 0:
+            raise ValueError(
+                f"warmup_intervals must be non-negative, got {warmup_intervals}"
+            )
+        rng = random.Random(self.seed)
+        walker = _PhaseWalker(self.app)
+        records: List[IntervalRecord] = []
+        measurement: Optional[QoSMeasurement] = None
+        current_config: Optional[VCoreConfig] = None
+        cycle = 0.0
+        for index in range(-warmup_intervals, intervals):
+            _, phase = walker.current_phase()
+            points = self.true_points(phase)
+            schedule = allocator.decide(measurement, points)
+            (
+                true_qos,
+                active_qos,
+                cost_rate,
+                legs,
+                reconfig_cycles,
+                current_config,
+                actual_cycles,
+            ) = self._execute(schedule, walker, current_config, rng)
+            measured = self._noisy(true_qos, rng)
+            violated = true_qos < self.qos_goal * (1.0 - self.violation_margin)
+            if index >= 0:
+                records.append(
+                    IntervalRecord(
+                        index=index,
+                        start_cycle=cycle,
+                        phase_name=phase.name,
+                        schedule=schedule,
+                        true_qos=true_qos,
+                        measured_qos=measured,
+                        active_qos=active_qos,
+                        cost_rate=cost_rate,
+                        violated=violated,
+                        reconfig_cycles=reconfig_cycles,
+                        cycles=actual_cycles,
+                    )
+                )
+                cycle += actual_cycles
+            measurement = QoSMeasurement(
+                overall_qos=measured,
+                legs=tuple(legs),
+                signature=self._signature(phase, rng),
+            )
+        return RunResult(
+            app_name=self.app.name,
+            allocator_name=allocator.name,
+            qos_goal=self.qos_goal,
+            interval_cycles=self.interval_cycles,
+            records=records,
+        )
+
+    def _signature(self, phase: Phase, rng: random.Random) -> Tuple[float, ...]:
+        """Configuration-independent counter fingerprint of a phase.
+
+        The CASH runtime can read cache-miss and branch-mispredict
+        counters on any Slice over the Runtime Interface Network
+        (Section III-B2); per committed instruction these rates are
+        properties of the workload, not of the virtual-core shape, so
+        they identify *which* phase is executing.  Reported with the
+        same measurement noise as QoS.
+        """
+        return (
+            self._noisy(phase.mem_refs_per_inst, rng),
+            self._noisy(phase.l1_miss_rate, rng),
+            self._noisy(phase.mispredict_rate, rng),
+        )
+
+    def _noisy(self, value: float, rng: random.Random) -> float:
+        if self.noise_std_frac == 0.0:
+            return value
+        return max(value * (1.0 + rng.gauss(0.0, self.noise_std_frac)), 0.0)
+
+    def _execute(
+        self,
+        schedule: Schedule,
+        walker: _PhaseWalker,
+        current_config: Optional[VCoreConfig],
+        rng: random.Random,
+    ) -> Tuple[
+        float,
+        float,
+        float,
+        List[LegObservation],
+        int,
+        Optional[VCoreConfig],
+        float,
+    ]:
+        """Run one interval's schedule; truncate it at a phase boundary.
+
+        Ending the interval at phase boundaries keeps every sample
+        within a single phase, mirroring the paper's per-phase oracle
+        construction (Section V-C) — no sample mixes two phases, so
+        violations reflect allocation decisions, not sampling artefacts.
+        """
+        total_instructions = 0.0
+        elapsed = 0.0
+        busy_cycles = 0.0
+        busy_instructions = 0.0
+        dollars_time = 0.0  # Σ rate × cycles, normalized at the end
+        legs: List[LegObservation] = []
+        reconfig_total = 0
+        crossed = False
+        for entry in schedule.entries:
+            if crossed:
+                break
+            leg_cycles = entry.fraction * self.interval_cycles
+            if leg_cycles <= 0:
+                continue
+            if entry.point.is_idle:
+                elapsed += leg_cycles
+                legs.append(
+                    LegObservation(config=None, fraction=entry.fraction, qos=0.0)
+                )
+                continue
+            config = entry.point.config
+            stall = 0
+            if current_config is not None and config != current_config:
+                stall = self.reconfig_costs.transition_cycles(
+                    current_config, config
+                )
+                stall = min(stall, int(leg_cycles))
+            current_config = config
+            productive = leg_cycles - stall
+            executed, used, crossed = walker.run_cycles(
+                productive,
+                lambda phase: self.model.ipc(phase, config),
+                stop_at_boundary=True,
+            )
+            leg_total = used + stall
+            elapsed += leg_total
+            total_instructions += executed
+            busy_cycles += leg_total
+            busy_instructions += executed
+            reconfig_total += stall
+            dollars_time += config.cost_rate(self.cost_model) * leg_total
+            leg_qos = executed / leg_total if leg_total > 0 else 0.0
+            legs.append(
+                LegObservation(
+                    config=config,
+                    fraction=entry.fraction,
+                    qos=self._noisy(leg_qos, rng),
+                )
+            )
+        elapsed = max(elapsed, 1.0)
+        true_qos = total_instructions / elapsed
+        active_qos = busy_instructions / busy_cycles if busy_cycles > 0 else 0.0
+        cost_rate = dollars_time / elapsed
+        return (
+            true_qos,
+            active_qos,
+            cost_rate,
+            legs,
+            reconfig_total,
+            current_config,
+            elapsed,
+        )
+
+
+class CASHAllocator:
+    """Adapter presenting :class:`CASHRuntime` as a harness allocator."""
+
+    name = "CASH"
+
+    def __init__(
+        self,
+        configs: Sequence[VCoreConfig],
+        qos_goal: float,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        base_config: Optional[VCoreConfig] = None,
+        guard_band: float = 0.03,
+        initial_base_qos: Optional[float] = None,
+        seed: int = 0,
+        **runtime_kwargs: object,
+    ) -> None:
+        if not 0.0 <= guard_band < 1.0:
+            raise ValueError(f"guard_band must be in [0, 1), got {guard_band}")
+        configs = list(configs)
+        if base_config is None:
+            base_config = min(configs, key=lambda c: (c.slices, c.l2_kb))
+        if initial_base_qos is None:
+            # The runtime starts with a conservative guess and lets the
+            # Kalman filter converge (Section IV-B: base speed is never
+            # measured directly).
+            initial_base_qos = qos_goal / 2.0
+        self.runtime = CASHRuntime(
+            configs=configs,
+            cost_rates=[c.cost_rate(cost_model) for c in configs],
+            qos_goal=qos_goal * (1.0 + guard_band),
+            base_config=base_config,
+            initial_base_qos=initial_base_qos,
+            seed=seed,
+            **runtime_kwargs,
+        )
+
+    def decide(
+        self,
+        measurement: Optional[QoSMeasurement],
+        true_points: Sequence[ConfigPoint],
+    ) -> Schedule:
+        # The CASH runtime never touches the true points: it acts only
+        # on remote performance-counter feedback.
+        decision = self.runtime.step(measurement)
+        return decision.schedule
+
+
+class LatencySimulator:
+    """Closed-loop simulation for latency-QoS (server) applications.
+
+    QoS is normalized inverse latency: ``q = target_latency / latency``,
+    so the goal is 1.0 and higher is better — the same "higher is
+    better" convention every allocator already speaks.  Request service
+    follows an M/M/1-style model: service time is the per-request
+    instruction count over the configuration's IPC, inflated by
+    ``1/(1-ρ)`` queueing as utilization ρ rises with the request rate.
+    Idle legs are executed on the cheapest configuration — a server can
+    never fully vacate while requests may arrive.
+    """
+
+    LATENCY_CAP_FACTOR = 10.0
+
+    # QoS metric: *capacity margin*.  The M/M/1 latency constraint
+    # ``(1/μ)/(1 − λ/μ) ≤ L`` rearranges to ``μ ≥ λ + 1/L`` — linear in
+    # the service capacity μ.  Defining q = μ / (λ + 1/L) therefore
+    # makes q = 1 exactly the latency target, keeps "higher is better",
+    # and — crucially — makes time-sharing linear in q, so the Eqn.-5
+    # LP and its two-configuration solutions are exact for servers too.
+
+    def __init__(
+        self,
+        app: PhasedApplication,
+        load: OscillatingLoad | RequestTrace,
+        target_latency_cycles: float,
+        model: PerformanceModel = DEFAULT_PERF_MODEL,
+        space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        reconfig_costs: ReconfigCostModel = DEFAULT_RECONFIG_COSTS,
+        interval_cycles: float = 1.0e7,
+        cycles_per_second: float = 1.0e8,
+        noise_std_frac: float = 0.02,
+        violation_margin: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if app.qos_kind != "latency":
+            raise ValueError(
+                f"{app.name} is a {app.qos_kind} application; use "
+                "ThroughputSimulator"
+            )
+        if target_latency_cycles <= 0:
+            raise ValueError(
+                f"target_latency_cycles must be positive, "
+                f"got {target_latency_cycles}"
+            )
+        if cycles_per_second <= 0:
+            raise ValueError(
+                f"cycles_per_second must be positive, got {cycles_per_second}"
+            )
+        self.app = app
+        self.load = load
+        self.target_latency = target_latency_cycles
+        self.model = model
+        self.space = space
+        self.cost_model = cost_model
+        self.reconfig_costs = reconfig_costs
+        self.interval_cycles = interval_cycles
+        self.cycles_per_second = cycles_per_second
+        self.noise_std_frac = noise_std_frac
+        self.violation_margin = violation_margin
+        self.seed = seed
+        self._cheapest = min(space, key=lambda c: c.cost_rate(cost_model))
+
+    def service_capacity(self, phase: Phase, config: VCoreConfig) -> float:
+        """Requests per cycle the configuration can serve in ``phase``."""
+        return self.model.ipc(phase, config) / self.app.instructions_per_request
+
+    def required_capacity(self, rate_per_second: float) -> float:
+        """Capacity (requests/cycle) needed to hold the latency target."""
+        arrivals = rate_per_second / self.cycles_per_second
+        return arrivals + 1.0 / self.target_latency
+
+    def latency_cycles(
+        self, phase: Phase, config: VCoreConfig, rate_per_second: float
+    ) -> float:
+        """Mean request latency under the M/M/1-style model."""
+        capacity = self.service_capacity(phase, config)
+        arrivals = rate_per_second / self.cycles_per_second
+        cap = self.LATENCY_CAP_FACTOR * self.target_latency
+        if capacity <= arrivals:
+            return cap
+        return min(1.0 / (capacity - arrivals), cap)
+
+    def qos_of(
+        self, phase: Phase, config: VCoreConfig, rate_per_second: float
+    ) -> float:
+        """Capacity margin (goal = 1.0 ⇔ latency exactly at target)."""
+        return self.service_capacity(phase, config) / self.required_capacity(
+            rate_per_second
+        )
+
+    def true_points(
+        self, phase: Phase, rate_per_second: float
+    ) -> List[ConfigPoint]:
+        return [
+            ConfigPoint(
+                config=config,
+                speedup=self.qos_of(phase, config, rate_per_second),
+                cost_rate=config.cost_rate(self.cost_model),
+            )
+            for config in self.space
+        ]
+
+    def run(self, allocator: Allocator, intervals: int = 1000) -> RunResult:
+        if intervals <= 0:
+            raise ValueError(f"intervals must be positive, got {intervals}")
+        rng = random.Random(self.seed)
+        walker = _PhaseWalker(self.app)
+        records: List[IntervalRecord] = []
+        measurement: Optional[QoSMeasurement] = None
+        current_config: Optional[VCoreConfig] = None
+        cycle = 0.0
+        previous_rate: Optional[float] = None
+        for index in range(intervals):
+            _, phase = walker.current_phase()
+            rate = self.load.rate_at(cycle)
+            if measurement is not None and previous_rate is not None:
+                # The runtime reads arrival counters at decision time,
+                # so it knows how the capacity requirement moved.
+                measurement = replace(
+                    measurement,
+                    goal_scale=self.required_capacity(rate)
+                    / self.required_capacity(previous_rate),
+                )
+            previous_rate = rate
+            points = self.true_points(phase, rate)
+            schedule = allocator.decide(measurement, points)
+            cost_rate = 0.0
+            legs: List[LegObservation] = []
+            reconfig_total = 0
+            capacity = 0.0  # requests per cycle the schedule can serve
+            for entry in schedule.entries:
+                if entry.fraction <= 0:
+                    continue
+                config = (
+                    entry.point.config
+                    if not entry.point.is_idle
+                    else self._cheapest
+                )
+                stall = 0
+                if current_config is not None and config != current_config:
+                    stall = self.reconfig_costs.transition_cycles(
+                        current_config, config
+                    )
+                current_config = config
+                leg_cycles = entry.fraction * self.interval_cycles
+                stall_penalty = min(stall / max(leg_cycles, 1.0), 0.5)
+                ipc = self.model.ipc(phase, config)
+                service_rate = ipc / self.app.instructions_per_request
+                capacity += entry.fraction * service_rate * (1.0 - stall_penalty)
+                leg_qos = self.qos_of(phase, config, rate) * (1.0 - stall_penalty)
+                cost_rate += config.cost_rate(self.cost_model) * entry.fraction
+                reconfig_total += stall
+                legs.append(
+                    LegObservation(
+                        config=entry.point.config,
+                        fraction=entry.fraction,
+                        qos=self._noisy(leg_qos, rng),
+                    )
+                )
+            # Fluid model of the time-shared interval: requests arrive
+            # continuously, so the schedule's average service capacity
+            # is what bounds latency.  Time spent idle (or in slow
+            # legs) does not average away — it stretches every queued
+            # request.  The capacity-margin QoS makes this exact.
+            total_qos = capacity / self.required_capacity(rate)
+            # Advance the request-mix phase walker by the work actually
+            # served this interval.
+            served_rate = rate / self.cycles_per_second  # requests/cycle
+            instructions = (
+                served_rate
+                * self.interval_cycles
+                * self.app.instructions_per_request
+            )
+            walker.offset += instructions
+            measured = self._noisy(total_qos, rng)
+            violated = total_qos < 1.0 - self.violation_margin
+            records.append(
+                IntervalRecord(
+                    index=index,
+                    start_cycle=cycle,
+                    phase_name=phase.name,
+                    schedule=schedule,
+                    true_qos=total_qos,
+                    measured_qos=measured,
+                    active_qos=total_qos,
+                    cost_rate=cost_rate,
+                    violated=violated,
+                    reconfig_cycles=reconfig_total,
+                    request_rate=rate,
+                )
+            )
+            measurement = QoSMeasurement(
+                overall_qos=measured,
+                legs=tuple(legs),
+                signature=(
+                    self._noisy(phase.mem_refs_per_inst, rng),
+                    self._noisy(phase.l1_miss_rate, rng),
+                    self._noisy(phase.mispredict_rate, rng),
+                ),
+            )
+            cycle += self.interval_cycles
+        return RunResult(
+            app_name=self.app.name,
+            allocator_name=allocator.name,
+            qos_goal=1.0,
+            interval_cycles=self.interval_cycles,
+            records=records,
+        )
+
+    def _noisy(self, value: float, rng: random.Random) -> float:
+        if self.noise_std_frac == 0.0:
+            return value
+        return max(value * (1.0 + rng.gauss(0.0, self.noise_std_frac)), 0.0)

@@ -1,0 +1,93 @@
+"""Formatting results in the paper's rows (Table III, Figs. 7–10)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.experiments.harness import RunResult
+from repro.experiments.scenarios import geometric_mean
+
+
+def cost_table(
+    results: Mapping[str, Mapping[str, RunResult]],
+    reference: str = "Optimal",
+) -> str:
+    """Render Table III: geometric-mean cost and ratio to optimal."""
+    lines = ["Allocator                Geometric Mean   Ratio to " + reference]
+    geo: Dict[str, float] = {}
+    for allocator, runs in results.items():
+        geo[allocator] = geometric_mean(
+            [run.cost_dollars for run in runs.values()]
+        )
+    base = geo.get(reference)
+    for allocator, value in geo.items():
+        ratio = value / base if base else float("nan")
+        lines.append(f"{allocator:<24} ${value:<15.4f} {ratio:.2f}")
+    return "\n".join(lines)
+
+
+def per_app_table(
+    results: Mapping[str, Mapping[str, RunResult]],
+) -> str:
+    """Render Fig. 7 / Fig. 10 as text: per-app cost and violations."""
+    allocators = list(results)
+    apps = sorted(
+        {app for runs in results.values() for app in runs}
+    )
+    header = f"{'app':<12}" + "".join(f"{name:>24}" for name in allocators)
+    lines = [header, "-" * len(header)]
+    for app in apps:
+        costs = "".join(
+            f"{results[name][app].cost_dollars:>17.4f}$"
+            + f"{results[name][app].violation_percent:>5.1f}%"
+            for name in allocators
+        )
+        lines.append(f"{app:<12}" + costs)
+    geo_cells = "".join(
+        f"{geometric_mean([r.cost_dollars for r in results[name].values()]):>17.4f}$"
+        + f"{sum(r.violation_percent for r in results[name].values()) / len(results[name]):>5.1f}%"
+        for name in allocators
+    )
+    lines.append(f"{'geomean':<12}" + geo_cells)
+    return "\n".join(lines)
+
+
+def geomean_costs(
+    results: Mapping[str, Mapping[str, RunResult]],
+) -> Dict[str, float]:
+    return {
+        allocator: geometric_mean([run.cost_dollars for run in runs.values()])
+        for allocator, runs in results.items()
+    }
+
+
+def mean_violations(
+    results: Mapping[str, Mapping[str, RunResult]],
+) -> Dict[str, float]:
+    return {
+        allocator: sum(run.violation_percent for run in runs.values())
+        / len(runs)
+        for allocator, runs in results.items()
+    }
+
+
+def timeseries_table(
+    results: Mapping[str, RunResult],
+    stride: int = 10,
+) -> str:
+    """Render Fig. 2/8/9-style time series as aligned text columns."""
+    names = list(results)
+    any_run = next(iter(results.values()))
+    lines = [
+        f"{'Mcycles':>8}"
+        + "".join(f"{name + ' $/h':>22}{name + ' perf':>12}" for name in names)
+    ]
+    for i in range(0, any_run.num_intervals, stride):
+        row = f"{any_run.records[i].start_cycle / 1e6:>8.0f}"
+        for name in names:
+            run = results[name]
+            record = run.records[i]
+            perf = run.normalized_performance_series()[i]
+            row += f"{record.cost_rate:>22.4f}{perf:>12.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,395 @@
+"""Canonical experiment definitions for every figure and table.
+
+Each function here builds exactly the comparison a paper artefact
+reports:
+
+* :func:`compare_allocators` — Fig. 7 / Table III: Optimal, Convex
+  Optimization, Race-to-Idle, and CASH on the fine-grain architecture;
+* :func:`compare_architectures` — Fig. 10: {coarse, fine} × {race,
+  adaptive};
+* :func:`apache_timeseries` — Fig. 9: the oscillating-load apache run;
+* :func:`x264_timeseries` — Figs. 2 and 8: the x264 phase study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
+from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
+from repro.baselines.convex import ConvexOptimizationAllocator, average_points
+from repro.baselines.heterogeneous import (
+    BIG_CONFIG,
+    LITTLE_CONFIG,
+    coarse_grain_configs,
+)
+from repro.baselines.oracle import OracleAllocator
+from repro.baselines.race import RaceToIdleAllocator, worst_case_config
+from repro.arch.reconfig import ReconfigCostModel
+from repro.experiments.harness import (
+    Allocator,
+    CASHAllocator,
+    LatencySimulator,
+    RunResult,
+    ThroughputSimulator,
+    qos_target_for,
+)
+from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
+from repro.workloads.apps import APP_NAMES, get_app
+from repro.workloads.phase import PhasedApplication
+from repro.workloads.requests import OscillatingLoad
+
+APACHE_TARGET_LATENCY_CYCLES = 110_000.0
+"""Fig. 9: 110 Kcycles per request, the smallest worst-case latency."""
+
+DEFAULT_INTERVALS = 1000
+"""The paper samples performance 1000 times per application."""
+
+REALISTIC_RECONFIG_COSTS = ReconfigCostModel(dirty_fraction=0.25)
+"""Section VI-A: the 8000-cycle L2 flush is the all-lines-dirty worst
+case; "in practice we expect that we will not flush the whole cache as
+only a small number of lines will be dirty"."""
+
+
+@dataclass(frozen=True)
+class AllocatorResult:
+    """One cell of Fig. 7 / Fig. 10: cost and violations."""
+
+    app_name: str
+    allocator_name: str
+    cost: float
+    violation_percent: float
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "AllocatorResult":
+        return cls(
+            app_name=run.app_name,
+            allocator_name=run.allocator_name,
+            cost=run.cost_dollars,
+            violation_percent=run.violation_percent,
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, as the paper aggregates costs."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean needs positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def default_load_for(app: PhasedApplication) -> OscillatingLoad:
+    """The condensed oscillating request stream of Fig. 9."""
+    return OscillatingLoad(
+        mean_rate=800.0,
+        amplitude=550.0,
+        period_cycles=3.2e8,
+        floor=100.0,
+    )
+
+
+def latency_worst_case_config(
+    sim: LatencySimulator,
+    candidates: Optional[Sequence[VCoreConfig]] = None,
+) -> VCoreConfig:
+    """Cheapest config meeting the latency target at peak load, any phase."""
+    pool = list(candidates) if candidates is not None else list(sim.space)
+    peak = sim.load.peak_rate
+    feasible = [
+        config
+        for config in pool
+        if all(
+            sim.qos_of(phase, config, peak) >= 1.0 for phase in sim.app.phases
+        )
+    ]
+    if feasible:
+        return min(feasible, key=lambda c: c.cost_rate(sim.cost_model))
+    return max(
+        pool,
+        key=lambda c: min(
+            sim.qos_of(phase, c, peak) for phase in sim.app.phases
+        ),
+    )
+
+
+class _LatencyConvexAllocator(ConvexOptimizationAllocator):
+    """Convex baseline rebased onto latency QoS points."""
+
+    def __init__(
+        self,
+        sim: LatencySimulator,
+        candidates: Optional[Sequence[VCoreConfig]] = None,
+    ) -> None:
+        # Build average-case points at the mean request rate, one per
+        # configuration, mirroring the offline-profile construction.
+        pool = list(candidates) if candidates is not None else list(sim.space)
+        mean_rate = getattr(sim.load, "mean_rate", None)
+        if mean_rate is None:
+            rates = list(sim.load)
+            mean_rate = sum(rates) / len(rates)
+        from repro.runtime.optimizer import ConfigPoint
+
+        weights = [phase.instructions for phase in sim.app.phases]
+        total = sum(weights)
+        points = []
+        for config in pool:
+            qos = sum(
+                w * sim.qos_of(phase, config, mean_rate)
+                for w, phase in zip(weights, sim.app.phases)
+            ) / total
+            points.append(
+                ConfigPoint(
+                    config=config,
+                    speedup=qos,
+                    cost_rate=config.cost_rate(sim.cost_model),
+                )
+            )
+        # Bypass the parent constructor: install precomputed points.
+        self.qos_goal = 1.0
+        self.points = points
+        base_point = min(points, key=lambda p: p.cost_rate)
+        self._base_qos = max(base_point.speedup, 1e-9)
+        from repro.runtime.controller import DeadbeatController
+
+        self.controller = DeadbeatController(
+            qos_goal=self.qos_goal, base_qos=self._base_qos
+        )
+        self._max_average_qos = max(p.speedup for p in points)
+
+
+def make_throughput_simulator(
+    app: PhasedApplication,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    seed: int = 0,
+    interval_cycles: float = 2.5e5,
+) -> ThroughputSimulator:
+    """Simulator with the paper's QoS rule.
+
+    The default control interval (250 Kcycles) gives ~60-90 samples per
+    application phase, so the 1000-sample runs see every phase several
+    times while phase *transitions* stay rare relative to samples — the
+    regime the paper's violation percentages describe.
+    """
+    goal = qos_target_for(app, model, space)
+    return ThroughputSimulator(
+        app=app,
+        qos_goal=goal,
+        model=model,
+        space=space,
+        seed=seed,
+        interval_cycles=interval_cycles,
+        reconfig_costs=REALISTIC_RECONFIG_COSTS,
+    )
+
+
+def make_latency_simulator(
+    app: PhasedApplication,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    seed: int = 0,
+) -> LatencySimulator:
+    return LatencySimulator(
+        app=app,
+        load=default_load_for(app),
+        target_latency_cycles=APACHE_TARGET_LATENCY_CYCLES,
+        model=model,
+        space=space,
+        seed=seed,
+    )
+
+
+def _build_allocator(
+    kind: str,
+    app: PhasedApplication,
+    sim: ThroughputSimulator | LatencySimulator,
+    model: PerformanceModel,
+    space: ConfigurationSpace,
+    candidates: Optional[Sequence[VCoreConfig]] = None,
+    seed: int = 0,
+) -> Allocator:
+    """Instantiate one of the four allocator kinds for a simulator."""
+    configs = list(candidates) if candidates is not None else list(space)
+    if isinstance(sim, ThroughputSimulator):
+        goal = sim.qos_goal
+        if kind == "optimal":
+            return OracleAllocator(qos_goal=goal)
+        if kind == "race":
+            config = worst_case_config(
+                app, goal, model, space, sim.cost_model, candidates=configs
+            )
+            return RaceToIdleAllocator(
+                config=config, qos_goal=goal, cost_model=sim.cost_model
+            )
+        if kind == "convex":
+            return ConvexOptimizationAllocator(
+                app=app,
+                qos_goal=goal,
+                model=model,
+                space=space,
+                cost_model=sim.cost_model,
+                candidates=configs,
+            )
+        if kind == "cash":
+            return CASHAllocator(configs=configs, qos_goal=goal, seed=seed)
+    else:
+        if kind == "optimal":
+            return OracleAllocator(qos_goal=1.0)
+        if kind == "race":
+            config = latency_worst_case_config(sim, candidates=configs)
+            return RaceToIdleAllocator(
+                config=config,
+                qos_goal=1.0,
+                cost_model=sim.cost_model,
+                can_idle=False,
+            )
+        if kind == "convex":
+            return _LatencyConvexAllocator(sim, candidates=configs)
+        if kind == "cash":
+            # Server load drifts continuously (the oscillating request
+            # rate), so per-configuration estimates lag by roughly the
+            # per-interval load delta; a wider guard band absorbs that
+            # tracking error.
+            return CASHAllocator(
+                configs=configs, qos_goal=1.0, guard_band=0.09, seed=seed
+            )
+    raise ValueError(f"unknown allocator kind {kind!r}")
+
+
+def run_app_with_allocator(
+    app_name: str,
+    kind: str,
+    intervals: int = DEFAULT_INTERVALS,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    candidates: Optional[Sequence[VCoreConfig]] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run one (application, allocator) cell."""
+    app = get_app(app_name)
+    if app.qos_kind == "throughput":
+        sim = make_throughput_simulator(app, model, space, seed=seed)
+        allocator = _build_allocator(
+            kind, app, sim, model, space, candidates=candidates, seed=seed
+        )
+        # Warm up for one full pass over the application so recorded
+        # samples describe steady-state operation: the runtime has seen
+        # every phase at least once (Section VI-C's measurements follow
+        # the oracle construction, which is itself per-phase steady
+        # state).
+        pass_cycles = app.total_instructions / sim.qos_goal
+        warmup = int(pass_cycles / sim.interval_cycles) + 1
+        return sim.run(allocator, intervals=intervals, warmup_intervals=warmup)
+    sim = make_latency_simulator(app, model, space, seed=seed)
+    allocator = _build_allocator(
+        kind, app, sim, model, space, candidates=candidates, seed=seed
+    )
+    return sim.run(allocator, intervals=intervals)
+
+
+ALLOCATOR_KINDS: Tuple[Tuple[str, str], ...] = (
+    ("optimal", "Optimal"),
+    ("convex", "Convex Optimization"),
+    ("race", "Race to Idle"),
+    ("cash", "CASH"),
+)
+
+
+def compare_allocators(
+    app_names: Optional[Sequence[str]] = None,
+    intervals: int = DEFAULT_INTERVALS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Fig. 7 / Table III: all four allocators on every application.
+
+    Returns ``results[allocator_name][app_name]``.
+    """
+    names = list(app_names) if app_names is not None else list(APP_NAMES)
+    results: Dict[str, Dict[str, RunResult]] = {
+        label: {} for _, label in ALLOCATOR_KINDS
+    }
+    for app_name in names:
+        for kind, label in ALLOCATOR_KINDS:
+            results[label][app_name] = run_app_with_allocator(
+                app_name, kind, intervals=intervals, seed=seed
+            )
+    return results
+
+
+ARCHITECTURE_KINDS: Tuple[Tuple[str, str, str], ...] = (
+    ("coarse", "race", "CoarseGrain race"),
+    ("coarse", "cash", "CoarseGrain adapt"),
+    ("fine", "race", "FineGrain race"),
+    ("fine", "cash", "CASH"),
+)
+
+
+def compare_architectures(
+    app_names: Optional[Sequence[str]] = None,
+    intervals: int = DEFAULT_INTERVALS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Fig. 10: coarse vs fine grain × race vs adaptive.
+
+    The coarse-grain architecture offers only the big (8S/4MB) and
+    little (1S/128KB) cores; its race-to-idle variant cannot switch
+    cores at all and must race the big one.
+    """
+    names = list(app_names) if app_names is not None else list(APP_NAMES)
+    coarse = coarse_grain_configs()
+    results: Dict[str, Dict[str, RunResult]] = {
+        label: {} for _, _, label in ARCHITECTURE_KINDS
+    }
+    for app_name in names:
+        for grain, kind, label in ARCHITECTURE_KINDS:
+            candidates = coarse if grain == "coarse" else None
+            if grain == "coarse" and kind == "race":
+                # A fixed heterogeneous machine races the big core only.
+                candidates = [BIG_CONFIG]
+            results[label][app_name] = run_app_with_allocator(
+                app_name,
+                kind,
+                intervals=intervals,
+                candidates=candidates,
+                seed=seed,
+            )
+    return results
+
+
+def x264_timeseries(
+    intervals: int = 220,
+    kinds: Sequence[str] = ("convex", "race", "cash"),
+    seed: int = 0,
+) -> Dict[str, RunResult]:
+    """Figs. 2 and 8: per-interval cost rate and normalized performance.
+
+    220 one-Mcycle intervals ≈ one full pass over the 10 x264 phases
+    (the figures' 0–180 Mcycle x-axis).
+    """
+    labels = dict(ALLOCATOR_KINDS)
+    return {
+        labels[k]: run_app_with_allocator("x264", k, intervals=intervals, seed=seed)
+        for k in kinds
+    }
+
+
+def apache_timeseries(
+    intervals: int = 112,
+    kinds: Sequence[str] = ("convex", "race", "cash"),
+    seed: int = 0,
+) -> Dict[str, RunResult]:
+    """Fig. 9: apache under the oscillating request stream.
+
+    112 ten-Mcycle intervals match the figure's 1.12 Gcycle span
+    (three and a half oscillation periods).
+    """
+    labels = dict(ALLOCATOR_KINDS)
+    return {
+        labels[k]: run_app_with_allocator(
+            "apache", k, intervals=intervals, seed=seed
+        )
+        for k in kinds
+    }

@@ -1,0 +1,101 @@
+"""Multi-seed statistics for the closed-loop experiments.
+
+Single runs carry seed-dependent noise (measurement noise, exploration
+choices).  This module repeats an experiment across seeds and reports
+mean and spread, so claims like "CASH lands at 1.2x optimal" come with
+error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.harness import RunResult
+from repro.experiments.scenarios import run_app_with_allocator
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and sample standard deviation of a metric across seeds."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a summary needs at least one value")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f}"
+
+
+@dataclass(frozen=True)
+class SeededResult:
+    """Cost and violation statistics for one (app, allocator) cell."""
+
+    app_name: str
+    allocator_kind: str
+    cost: Summary
+    violation_percent: Summary
+    seeds: tuple
+
+
+def run_across_seeds(
+    app_name: str,
+    kind: str,
+    seeds: Sequence[int] = (0, 1, 2),
+    intervals: int = 1000,
+) -> SeededResult:
+    """Run one experiment cell across several seeds."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    costs: List[float] = []
+    violations: List[float] = []
+    for seed in seeds:
+        result = run_app_with_allocator(
+            app_name, kind, intervals=intervals, seed=seed
+        )
+        costs.append(result.cost_dollars)
+        violations.append(result.violation_percent)
+    return SeededResult(
+        app_name=app_name,
+        allocator_kind=kind,
+        cost=Summary(tuple(costs)),
+        violation_percent=Summary(tuple(violations)),
+        seeds=tuple(seeds),
+    )
+
+
+def seed_stability_report(
+    app_names: Sequence[str],
+    kind: str = "cash",
+    seeds: Sequence[int] = (0, 1, 2),
+    intervals: int = 1000,
+) -> Dict[str, SeededResult]:
+    """Stability of one allocator across seeds for several apps."""
+    return {
+        name: run_across_seeds(name, kind, seeds=seeds, intervals=intervals)
+        for name in app_names
+    }

@@ -1,0 +1,44 @@
+"""The CASH runtime (Section IV, Fig. 6, Algorithm 1).
+
+The runtime closes the loop between a QoS goal and the configurable
+hardware:
+
+* the :class:`~repro.runtime.controller.DeadbeatController` turns QoS
+  error into a speedup demand (Eqns. 1–2);
+* the :class:`~repro.runtime.kalman.KalmanEstimator` tracks the
+  application's base speed online, detecting phases (Eqns. 3–4);
+* the :class:`~repro.runtime.qlearning.SpeedupLearner` learns each
+  configuration's true speedup from observed QoS (Eqn. 7);
+* the :class:`~repro.runtime.optimizer.LearningOptimizer` converts the
+  speedup demand into a minimal-cost two-configuration schedule
+  (Eqns. 5–6);
+* :class:`~repro.runtime.cash.CASHRuntime` assembles them into
+  Algorithm 1.
+"""
+
+from repro.runtime.controller import DeadbeatController
+from repro.runtime.kalman import KalmanEstimator
+from repro.runtime.qlearning import SpeedupLearner
+from repro.runtime.optimizer import (
+    ConfigPoint,
+    LearningOptimizer,
+    Schedule,
+    ScheduleEntry,
+    solve_two_config,
+    lower_envelope_cost,
+)
+from repro.runtime.cash import CASHRuntime, RuntimeDecision
+
+__all__ = [
+    "DeadbeatController",
+    "KalmanEstimator",
+    "SpeedupLearner",
+    "ConfigPoint",
+    "LearningOptimizer",
+    "Schedule",
+    "ScheduleEntry",
+    "solve_two_config",
+    "lower_envelope_cost",
+    "CASHRuntime",
+    "RuntimeDecision",
+]

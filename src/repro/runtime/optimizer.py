@@ -1,0 +1,276 @@
+"""Cost-minimizing configuration scheduling (Section IV-C, Eqns. 5–6).
+
+The optimizer maps a speedup demand s(t) into a schedule of
+configurations over a quantum of τ time units:
+
+    minimize   τ_idle·c_idle + (1/τ)·Σ_k τ_k·c_k
+    subject to (1/τ)·Σ_k τ_k·s_k = s(t)
+               τ_idle + Σ_k τ_k = τ,   τ_k ≥ 0            (Eqn. 5)
+
+Linear-programming theory says a problem with two constraints has an
+optimal solution with at most two non-zero τ_k — the paper names them
+``over`` and ``under``:
+
+    over  = argmin_k { c_k | s_k > s(t) }
+    under = argmax_k { s_k / c_k | s_k < s(t) }
+    t_over  = τ · (s(t) − s_under) / (s_over − s_under)
+    t_under = τ − t_over                                   (Eqn. 6)
+
+This module provides both the paper's over/under rule
+(:func:`solve_two_config`) — what the CASH runtime executes with
+*learned* speedups — and the exact LP optimum via the lower convex
+envelope (:func:`lower_envelope_cost`), which the oracle uses with
+*true* speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.vcore import VCoreConfig
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One configuration's operating point: speedup s_k and cost c_k."""
+
+    config: Optional[VCoreConfig]
+    speedup: float
+    cost_rate: float
+
+    def __post_init__(self) -> None:
+        if self.speedup < 0:
+            raise ValueError(f"speedup must be non-negative, got {self.speedup}")
+        if self.cost_rate < 0:
+            raise ValueError(
+                f"cost_rate must be non-negative, got {self.cost_rate}"
+            )
+
+    @property
+    def is_idle(self) -> bool:
+        return self.config is None
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per unit cost (the ``under`` selection metric)."""
+        if self.cost_rate == 0.0:
+            return float("inf") if self.speedup > 0 else 0.0
+        return self.speedup / self.cost_rate
+
+
+IDLE_POINT = ConfigPoint(config=None, speedup=0.0, cost_rate=0.0)
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One leg of a schedule: run ``point`` for ``fraction`` of τ."""
+
+    point: ConfigPoint
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not -1e-12 <= self.fraction <= 1.0 + 1e-12:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A (at most two-leg) schedule over one quantum."""
+
+    entries: Tuple[ScheduleEntry, ...]
+    saturated: bool = False
+    """True when the demand exceeded every configuration's speedup and
+    the schedule was clamped to the fastest configuration."""
+
+    def __post_init__(self) -> None:
+        total = sum(entry.fraction for entry in self.entries)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"schedule fractions sum to {total}, not 1")
+
+    @property
+    def average_speedup(self) -> float:
+        return sum(e.point.speedup * e.fraction for e in self.entries)
+
+    @property
+    def average_cost_rate(self) -> float:
+        return sum(e.point.cost_rate * e.fraction for e in self.entries)
+
+    @property
+    def active_entries(self) -> Tuple[ScheduleEntry, ...]:
+        return tuple(e for e in self.entries if not e.point.is_idle)
+
+    def configs(self) -> List[VCoreConfig]:
+        return [e.point.config for e in self.active_entries]
+
+
+def solve_two_config(
+    points: Sequence[ConfigPoint],
+    target_speedup: float,
+    idle: ConfigPoint = IDLE_POINT,
+) -> Schedule:
+    """The paper's over/under two-configuration rule (Eqn. 6).
+
+    ``points`` are the candidate configurations with their (possibly
+    learned) speedups and cost rates; ``idle`` is the do-nothing point
+    (zero speedup and, optimistically, zero cost).
+    """
+    if target_speedup < 0:
+        raise ValueError(
+            f"target_speedup must be non-negative, got {target_speedup}"
+        )
+    if not points:
+        raise ValueError("need at least one configuration point")
+    if target_speedup == 0.0:
+        return Schedule(entries=(ScheduleEntry(idle, 1.0),))
+
+    # Exact hit: a single configuration meets the demand exactly.
+    exact = [p for p in points if abs(p.speedup - target_speedup) <= 1e-12]
+    if exact:
+        cheapest = min(exact, key=lambda p: p.cost_rate)
+        return Schedule(entries=(ScheduleEntry(cheapest, 1.0),))
+
+    over_candidates = [p for p in points if p.speedup > target_speedup]
+    under_candidates = [p for p in points if p.speedup < target_speedup]
+
+    if not over_candidates:
+        # Demand is unreachable; clamp to the fastest configuration and
+        # flag saturation so the caller can surface the QoS risk.  With
+        # noisy (learned) speedups several configurations tie for
+        # fastest within the noise, so pick the cheapest of the
+        # near-fastest set — this keeps the choice stable in tight
+        # phases instead of churning on the noisy argmax.
+        fastest_speed = max(p.speedup for p in points)
+        fastest = min(
+            (p for p in points if p.speedup >= 0.98 * fastest_speed),
+            key=lambda p: p.cost_rate,
+        )
+        return Schedule(entries=(ScheduleEntry(fastest, 1.0),), saturated=True)
+
+    over = min(over_candidates, key=lambda p: (p.cost_rate, p.speedup))
+    if under_candidates:
+        under = max(under_candidates, key=lambda p: (p.efficiency, -p.cost_rate))
+    else:
+        under = idle
+
+    t_over = (target_speedup - under.speedup) / (over.speedup - under.speedup)
+    t_over = min(max(t_over, 0.0), 1.0)
+    return Schedule(
+        entries=(
+            ScheduleEntry(over, t_over),
+            ScheduleEntry(under, 1.0 - t_over),
+        )
+    )
+
+
+def _lower_hull(points: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Lower convex hull of 2D points sorted by x (Andrew's monotone chain)."""
+    points = sorted(set(points))
+    if len(points) <= 2:
+        return points
+    hull: List[Tuple[float, float]] = []
+    for point in points:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            cross = (x2 - x1) * (point[1] - y1) - (y2 - y1) * (point[0] - x1)
+            if cross <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(point)
+    return hull
+
+
+def lower_envelope_cost(
+    points: Sequence[ConfigPoint],
+    target_speedup: float,
+    idle: ConfigPoint = IDLE_POINT,
+) -> Tuple[float, Schedule]:
+    """Exact optimum of Eqn. 5: minimal cost rate to average s(t).
+
+    Time-sharing makes any point on a segment between two operating
+    points reachable, so the optimum lies on the lower convex envelope
+    of {(s_k, c_k)} ∪ {idle}.  Returns ``(cost_rate, schedule)``.
+    Raises ``ValueError`` if the target exceeds every speedup.
+    """
+    if target_speedup < 0:
+        raise ValueError(
+            f"target_speedup must be non-negative, got {target_speedup}"
+        )
+    if not points:
+        raise ValueError("need at least one configuration point")
+    all_points = list(points) + [idle]
+    best_at: Dict[Tuple[float, float], ConfigPoint] = {}
+    for p in all_points:
+        key = (p.speedup, p.cost_rate)
+        if key not in best_at:
+            best_at[key] = p
+    hull = _lower_hull([(p.speedup, p.cost_rate) for p in best_at.values()])
+    max_speed = hull[-1][0]
+    if target_speedup > max_speed + 1e-12:
+        raise ValueError(
+            f"target speedup {target_speedup} exceeds the fastest "
+            f"configuration ({max_speed})"
+        )
+    for (x1, y1), (x2, y2) in zip(hull, hull[1:]):
+        if x1 - 1e-12 <= target_speedup <= x2 + 1e-12:
+            span = x2 - x1
+            weight = 0.0 if span == 0 else (target_speedup - x1) / span
+            weight = min(max(weight, 0.0), 1.0)
+            cost = y1 + weight * (y2 - y1)
+            schedule = Schedule(
+                entries=(
+                    ScheduleEntry(best_at[(x2, y2)], weight),
+                    ScheduleEntry(best_at[(x1, y1)], 1.0 - weight),
+                )
+            )
+            return cost, schedule
+    # target equals the single hull point (hull of length 1).
+    point = best_at[hull[0]]
+    return point.cost_rate, Schedule(entries=(ScheduleEntry(point, 1.0),))
+
+
+class LearningOptimizer:
+    """The runtime's optimizer: learned speedups through the LP rule.
+
+    Holds the configuration catalogue (with cost rates from the cost
+    model) and, given the learner's current speedup estimates, produces
+    the over/under schedule for a speedup demand.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[VCoreConfig],
+        cost_rates: Sequence[float],
+        idle: ConfigPoint = IDLE_POINT,
+    ) -> None:
+        if len(configs) != len(cost_rates):
+            raise ValueError(
+                f"{len(configs)} configs but {len(cost_rates)} cost rates"
+            )
+        if not configs:
+            raise ValueError("need at least one configuration")
+        self.configs = list(configs)
+        self.cost_rates = list(cost_rates)
+        self.idle = idle
+
+    def points(self, speedups: Dict[VCoreConfig, float]) -> List[ConfigPoint]:
+        missing = [c for c in self.configs if c not in speedups]
+        if missing:
+            raise KeyError(f"no speedup estimate for {missing[:3]}...")
+        return [
+            ConfigPoint(config=c, speedup=speedups[c], cost_rate=rate)
+            for c, rate in zip(self.configs, self.cost_rates)
+        ]
+
+    def schedule(
+        self, speedups: Dict[VCoreConfig, float], target_speedup: float
+    ) -> Schedule:
+        return solve_two_config(self.points(speedups), target_speedup, self.idle)
+
+    def optimal_cost(
+        self, speedups: Dict[VCoreConfig, float], target_speedup: float
+    ) -> Tuple[float, Schedule]:
+        return lower_envelope_cost(
+            self.points(speedups), target_speedup, self.idle
+        )

@@ -1,0 +1,144 @@
+"""Snapshot and restore of the CASH runtime's learned state.
+
+Everything the runtime knows is cheap scalar state: the Kalman
+estimate, the controller's integrator, and the per-phase bank of
+learned configuration QoS values.  Persisting it means a runtime
+restart (a migration, a crash, a redeploy — routine events in an IaaS
+fleet) resumes with converged knowledge instead of relearning every
+phase from priors.
+
+Snapshots are plain JSON-serializable dictionaries keyed by a format
+version, so they survive library upgrades loudly rather than silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.arch.vcore import VCoreConfig
+from repro.runtime.cash import CASHRuntime
+from repro.runtime.qlearning import _Estimate
+
+SNAPSHOT_VERSION = 1
+
+
+def _config_key(config: VCoreConfig) -> str:
+    return f"{config.slices}:{config.l2_kb}"
+
+
+def _parse_config(key: str) -> VCoreConfig:
+    slices, l2_kb = key.split(":")
+    return VCoreConfig(slices=int(slices), l2_kb=int(l2_kb))
+
+
+def snapshot_runtime(runtime: CASHRuntime) -> Dict[str, Any]:
+    """Capture the runtime's learned state as a JSON-serializable dict."""
+    learner = runtime.learner
+    bank: List[Dict[str, Any]] = []
+    current_index = learner._current_phase
+    for entry in learner._bank:
+        bank.append(
+            {
+                "level": float(entry["level"]),
+                "signature": list(entry["signature"]),
+                "table": {
+                    _config_key(config): {
+                        "qos": estimate.qos,
+                        "visits": estimate.visits,
+                    }
+                    for config, estimate in entry["table"].items()
+                },
+            }
+        )
+    return {
+        "version": SNAPSHOT_VERSION,
+        "qos_goal": runtime.qos_goal,
+        "base_estimate": runtime.estimator.estimate,
+        "error_variance": runtime.estimator.error_variance,
+        "controller_target": runtime.controller.speedup,
+        "learner": {
+            "base_qos": learner.base_qos,
+            "alpha": learner.alpha,
+            "current_phase": current_index,
+            "bank": bank,
+        },
+        "signature_ref": (
+            list(runtime._signature_ref)
+            if runtime._signature_ref is not None
+            else None
+        ),
+        "phase_entry_base": runtime._phase_entry_base,
+    }
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot cannot be applied to a runtime."""
+
+
+def restore_runtime(runtime: CASHRuntime, snapshot: Dict[str, Any]) -> None:
+    """Load a snapshot into a runtime with the same configuration menu."""
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {snapshot.get('version')!r} is not "
+            f"{SNAPSHOT_VERSION}"
+        )
+    learner = runtime.learner
+    menu = {_config_key(config) for config in learner.configs}
+    bank_payload = snapshot["learner"]["bank"]
+    for entry in bank_payload:
+        missing = menu - set(entry["table"])
+        extra = set(entry["table"]) - menu
+        if missing or extra:
+            raise SnapshotError(
+                "snapshot configuration menu does not match the "
+                f"runtime's (missing {sorted(missing)[:3]}, "
+                f"extra {sorted(extra)[:3]})"
+            )
+
+    new_bank = []
+    for entry in bank_payload:
+        table = {
+            _parse_config(key): _Estimate(
+                qos=float(value["qos"]), visits=int(value["visits"])
+            )
+            for key, value in entry["table"].items()
+        }
+        new_bank.append(
+            {
+                "level": float(entry["level"]),
+                "signature": tuple(entry["signature"]),
+                "table": table,
+            }
+        )
+    current = int(snapshot["learner"]["current_phase"])
+    if not 0 <= current < len(new_bank):
+        raise SnapshotError(f"current phase index {current} out of range")
+    learner._bank = new_bank
+    learner._current_phase = current
+    learner._estimates = new_bank[current]["table"]
+    learner.set_base_qos(float(snapshot["learner"]["base_qos"]))
+    learner.alpha = float(snapshot["learner"]["alpha"])
+
+    runtime.estimator.reset(
+        float(snapshot["base_estimate"]),
+        error_variance=float(snapshot["error_variance"]),
+    )
+    runtime.controller.reset(float(snapshot["controller_target"]))
+    signature_ref = snapshot.get("signature_ref")
+    runtime._signature_ref = (
+        tuple(signature_ref) if signature_ref is not None else None
+    )
+    runtime._phase_entry_base = float(snapshot["phase_entry_base"])
+
+
+def save_snapshot(runtime: CASHRuntime, path: str) -> None:
+    """Write the runtime's snapshot to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(snapshot_runtime(runtime), handle)
+
+
+def load_snapshot(runtime: CASHRuntime, path: str) -> None:
+    """Restore a runtime from a JSON snapshot file."""
+    with open(path) as handle:
+        restore_runtime(runtime, json.load(handle))

@@ -1,0 +1,125 @@
+"""Branch prediction for the cycle tier (Fig. 4: ``Br_pred & btb``).
+
+The trace-driven pipeline can either take mispredictions from the
+trace (the default: the trace generator scripts them at the phase's
+rate) or resolve them *dynamically* against this module: a classic
+bimodal predictor (2-bit saturating counters) plus a branch target
+buffer.  With dynamic prediction, mispredictions are an emergent
+property of each branch's outcome history — biased branches train to
+near-zero mispredicts, 50/50 branches stay hard — which is what lets
+tests exercise the front end as real hardware would behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class BimodalPredictor:
+    """2-bit saturating counters indexed by branch address."""
+
+    STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = 0, 1, 2, 3
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries}")
+        self.entries = entries
+        # Initialized weakly taken: loops are usually taken.
+        self._counters = [self.WEAK_TAKEN] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, address: int) -> int:
+        # Addresses arrive at cache-block granularity; index on block
+        # bits so neighbouring blocks map to distinct counters.
+        return (address >> 6) & (self.entries - 1)
+
+    def predict(self, address: int) -> bool:
+        """Predicted direction for the branch at ``address``."""
+        return self._counters[self._index(address)] >= self.WEAK_TAKEN
+
+    def update(self, address: int, taken: bool) -> bool:
+        """Resolve a branch; returns True if it was mispredicted."""
+        index = self._index(address)
+        predicted = self._counters[index] >= self.WEAK_TAKEN
+        mispredicted = predicted != taken
+        if taken:
+            self._counters[index] = min(
+                self._counters[index] + 1, self.STRONG_TAKEN
+            )
+        else:
+            self._counters[index] = max(
+                self._counters[index] - 1, self.STRONG_NOT_TAKEN
+            )
+        self.predictions += 1
+        self.mispredictions += mispredicted
+        return mispredicted
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+@dataclass
+class _BtbEntry:
+    tag: int
+    target: int
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB: taken branches need a target to redirect to.
+
+    A taken branch that misses the BTB costs a front-end redirect even
+    when its direction was predicted correctly.
+    """
+
+    def __init__(self, entries: int = 512) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries}")
+        self.entries = entries
+        self._table: Dict[int, _BtbEntry] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def _index_tag(self, address: int):
+        index = (address >> 6) & (self.entries - 1)
+        return index, address >> 6
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Predicted target, or None on a BTB miss."""
+        self.lookups += 1
+        index, tag = self._index_tag(address)
+        entry = self._table.get(index)
+        if entry is None or entry.tag != tag:
+            self.misses += 1
+            return None
+        return entry.target
+
+    def install(self, address: int, target: int) -> None:
+        index, tag = self._index_tag(address)
+        self._table[index] = _BtbEntry(tag=tag, target=target)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class FrontEndPredictor:
+    """The composed front end: direction predictor + BTB."""
+
+    def __init__(self, predictor_entries: int = 1024, btb_entries: int = 512):
+        self.direction = BimodalPredictor(predictor_entries)
+        self.btb = BranchTargetBuffer(btb_entries)
+
+    def resolve(self, address: int, taken: bool, target: int) -> bool:
+        """Resolve a branch; returns True if the front end must redirect
+        (direction mispredict, or a taken branch with a BTB miss)."""
+        direction_miss = self.direction.update(address, taken)
+        if not taken:
+            return direction_miss
+        predicted_target = self.btb.lookup(address)
+        self.btb.install(address, target)
+        return direction_miss or predicted_target != target

@@ -1,0 +1,126 @@
+"""Trace files: persist and replay micro-op traces.
+
+The paper's SSim is driven by GEM5 full-system traces.  Our synthetic
+traces play that role; this module gives them the same workflow — write
+a generated trace to disk once, replay it across many experiments — so
+cycle-tier studies are exactly repeatable and shareable.
+
+Format (v2): one op per line, tab-separated::
+
+    op_id  kind  dest  sources(,)  address  code_address  mispredicted
+    taken  branch_target
+
+with ``-`` for absent fields, preceded by a one-line header recording
+the format version and op count.  v1 files (7 fields, before dynamic
+branch prediction) still load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sim.isa import MicroOp, OpKind
+
+FORMAT_HEADER_V1 = "#ssim-trace v1"
+FORMAT_HEADER = "#ssim-trace v2"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def _field(value) -> str:
+    return "-" if value is None else str(value)
+
+
+def _parse_optional_int(token: str):
+    return None if token == "-" else int(token)
+
+
+def save_trace(ops: Iterable[MicroOp], path: str) -> int:
+    """Write a trace; returns the number of ops written."""
+    ops = list(ops)
+    with open(path, "w") as handle:
+        handle.write(f"{FORMAT_HEADER} count={len(ops)}\n")
+        for op in ops:
+            sources = ",".join(str(reg) for reg in op.sources) or "-"
+            taken = "-" if op.taken is None else ("1" if op.taken else "0")
+            handle.write(
+                "\t".join(
+                    (
+                        str(op.op_id),
+                        op.kind.value,
+                        _field(op.dest),
+                        sources,
+                        _field(op.address),
+                        _field(op.code_address),
+                        "1" if op.mispredicted else "0",
+                        taken,
+                        _field(op.branch_target),
+                    )
+                )
+                + "\n"
+            )
+    return len(ops)
+
+
+def load_trace(path: str) -> List[MicroOp]:
+    """Read a trace written by :func:`save_trace`."""
+    ops: List[MicroOp] = []
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if not (
+            header.startswith(FORMAT_HEADER)
+            or header.startswith(FORMAT_HEADER_V1)
+        ):
+            raise TraceFormatError(
+                f"{path}: not an SSim trace (header {header!r})"
+            )
+        try:
+            expected = int(header.split("count=")[1])
+        except (IndexError, ValueError) as error:
+            raise TraceFormatError(f"{path}: malformed header") from error
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) not in (7, 9):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected 7 or 9 fields, "
+                    f"got {len(parts)}"
+                )
+            try:
+                sources = (
+                    ()
+                    if parts[3] == "-"
+                    else tuple(int(reg) for reg in parts[3].split(","))
+                )
+                taken = None
+                branch_target = None
+                if len(parts) == 9:
+                    if parts[7] != "-":
+                        taken = parts[7] == "1"
+                    branch_target = _parse_optional_int(parts[8])
+                ops.append(
+                    MicroOp(
+                        op_id=int(parts[0]),
+                        kind=OpKind(parts[1]),
+                        dest=_parse_optional_int(parts[2]),
+                        sources=sources,
+                        address=_parse_optional_int(parts[4]),
+                        code_address=_parse_optional_int(parts[5]),
+                        mispredicted=parts[6] == "1",
+                        taken=taken,
+                        branch_target=branch_target,
+                    )
+                )
+            except (ValueError, KeyError) as error:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: {error}"
+                ) from error
+    if len(ops) != expected:
+        raise TraceFormatError(
+            f"{path}: header promised {expected} ops, found {len(ops)}"
+        )
+    return ops

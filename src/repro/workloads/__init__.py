@@ -1,0 +1,33 @@
+"""Workload models for the 13 evaluated applications.
+
+The paper drives SSim with GEM5 full-system Alpha traces of SPEC
+CINT2006, a PARSEC subset, the apache web server, the postal mail
+server, and the x264 video encoder.  We model each application as a
+sequence of *phases* — regions with stable instruction mix, intrinsic
+ILP, and working-set behaviour — since the phase-level response surface
+(IPC as a function of Slices and L2) is precisely what the CASH runtime
+observes and optimizes over.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.workloads.phase import Phase, PhasedApplication
+from repro.workloads.apps import (
+    ALL_APPS,
+    APP_NAMES,
+    get_app,
+    make_apache,
+    make_x264,
+)
+from repro.workloads.requests import OscillatingLoad, RequestTrace
+
+__all__ = [
+    "Phase",
+    "PhasedApplication",
+    "ALL_APPS",
+    "APP_NAMES",
+    "get_app",
+    "make_apache",
+    "make_x264",
+    "OscillatingLoad",
+    "RequestTrace",
+]

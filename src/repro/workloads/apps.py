@@ -1,0 +1,624 @@
+"""Models of the 13 evaluated applications (Section V-B).
+
+Benchmarks: the SPEC CINT2006 suite (astar, bzip, gcc, h264ref, hmmer,
+libquantum, mcf, omnetpp, sjeng), PARSEC members (ferret, x264), the
+apache web server and the postal mail server.  Each factory builds a
+:class:`~repro.workloads.phase.PhasedApplication` whose phases encode
+the published microarchitectural character of the program (ILP,
+memory intensity, working-set structure, branchiness), tuned so the
+phase response surfaces reproduce the qualitative structure the paper
+reports — most importantly the 10 x264 phases of Fig. 1, where six
+phases exhibit local optima distinct from the global optimum and no two
+consecutive phases share a global optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.phase import Phase, PhasedApplication
+
+
+def make_x264() -> PhasedApplication:
+    """The x264 video encoder with the 10 phases of Fig. 1.
+
+    Encoding alternates between compute-dominated motion
+    estimation/transform phases (high ILP, small working set) and
+    memory-dominated reference-frame phases (large, stepped working
+    sets).  Phase 3 is the expensive one the paper highlights: its true
+    optimum needs a large L2, far from its local optima (Fig. 8).
+    """
+    phases = [
+        Phase(  # 1: lookahead / frame setup
+            name="x264.p1",
+            instructions_m=18,
+            ilp=2.2,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.10,
+            working_set=((96, 0.55), (1024, 0.60), (2048, 0.95)),
+            mlp=2.0,
+            comm_penalty=0.06,
+        ),
+        Phase(  # 2: motion estimation, compute bound
+            name="x264.p2",
+            instructions_m=20,
+            ilp=5.0,
+            mem_refs_per_inst=0.25,
+            l1_miss_rate=0.04,
+            working_set=((128, 0.90), (256, 0.95)),
+            mlp=2.5,
+            comm_penalty=0.02,
+        ),
+        Phase(  # 3: reference-frame search; expensive true optimum
+            name="x264.p3",
+            instructions_m=18,
+            ilp=2.8,
+            mem_refs_per_inst=0.35,
+            l1_miss_rate=0.15,
+            working_set=((64, 0.20), (512, 0.50), (1024, 0.52), (8192, 0.95)),
+            mlp=2.0,
+            comm_penalty=0.05,
+        ),
+        Phase(  # 4: entropy coding, serial and branchy
+            name="x264.p4",
+            instructions_m=14,
+            ilp=1.4,
+            mem_refs_per_inst=0.22,
+            l1_miss_rate=0.06,
+            working_set=((128, 0.85),),
+            mlp=1.5,
+            comm_penalty=0.35,
+            branch_fraction=0.22,
+            mispredict_rate=0.07,
+        ),
+        Phase(  # 5: transform + quantization
+            name="x264.p5",
+            instructions_m=20,
+            ilp=3.5,
+            mem_refs_per_inst=0.28,
+            l1_miss_rate=0.08,
+            working_set=((256, 0.50), (512, 0.90)),
+            mlp=2.5,
+            comm_penalty=0.04,
+        ),
+        Phase(  # 6: deblocking, streaming writes
+            name="x264.p6",
+            instructions_m=16,
+            ilp=2.0,
+            mem_refs_per_inst=0.33,
+            l1_miss_rate=0.20,
+            working_set=((64, 0.15),),
+            mlp=4.0,
+            comm_penalty=0.08,
+        ),
+        Phase(  # 7: sub-pel refinement over a medium reference window
+            name="x264.p7",
+            instructions_m=20,
+            ilp=4.5,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.09,
+            working_set=((1024, 0.90),),
+            mlp=3.0,
+            comm_penalty=0.03,
+        ),
+        Phase(  # 8: rate control, serial with a big cold structure
+            name="x264.p8",
+            instructions_m=14,
+            ilp=1.8,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.12,
+            working_set=((256, 0.60), (2048, 0.62), (4096, 0.90)),
+            mlp=1.8,
+            comm_penalty=0.30,
+        ),
+        Phase(  # 9: SIMD-friendly SATD kernels
+            name="x264.p9",
+            instructions_m=20,
+            ilp=6.0,
+            mem_refs_per_inst=0.24,
+            l1_miss_rate=0.03,
+            working_set=((128, 0.95),),
+            mlp=2.5,
+            comm_penalty=0.02,
+        ),
+        Phase(  # 10: B-frame reference blend over two frames
+            name="x264.p10",
+            instructions_m=20,
+            ilp=2.5,
+            mem_refs_per_inst=0.32,
+            l1_miss_rate=0.13,
+            working_set=((512, 0.55), (1024, 0.57), (8192, 0.90)),
+            mlp=2.2,
+            comm_penalty=0.05,
+        ),
+    ]
+    return PhasedApplication(
+        name="x264",
+        phases=phases,
+        qos_kind="throughput",
+        description="H.264 video encoder (PARSEC); QoS = frame rate",
+    )
+
+
+def make_apache() -> PhasedApplication:
+    """The apache httpd serving an oscillating request mix.
+
+    Latency QoS: the paper sets 110 Kcycles per request — the smallest
+    achievable worst-case latency.  Phases model shifts in the request
+    mix (cached static pages vs. dynamic content touching more state).
+    """
+    phases = [
+        Phase(
+            name="apache.static",
+            instructions_m=400,
+            ilp=2.6,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.07,
+            working_set=((256, 0.80), (512, 0.92)),
+            mlp=2.5,
+            comm_penalty=0.10,
+            branch_fraction=0.18,
+            mispredict_rate=0.04,
+        ),
+        Phase(
+            name="apache.dynamic",
+            instructions_m=400,
+            ilp=2.2,
+            mem_refs_per_inst=0.34,
+            l1_miss_rate=0.11,
+            working_set=((256, 0.45), (2048, 0.85)),
+            mlp=2.0,
+            comm_penalty=0.12,
+            branch_fraction=0.20,
+            mispredict_rate=0.05,
+        ),
+    ]
+    return PhasedApplication(
+        name="apache",
+        phases=phases,
+        qos_kind="latency",
+        description="apache httpd, concurrency 30; QoS = request latency",
+        instructions_per_request=40_000,
+    )
+
+
+def make_mailserver() -> PhasedApplication:
+    """The postal mail server: parse, spool and deliver messages."""
+    phases = [
+        Phase(
+            name="mail.receive",
+            instructions_m=360,
+            ilp=2.0,
+            mem_refs_per_inst=0.32,
+            l1_miss_rate=0.09,
+            working_set=((128, 0.60), (1024, 0.85)),
+            mlp=2.0,
+            comm_penalty=0.15,
+            branch_fraction=0.19,
+            mispredict_rate=0.05,
+        ),
+        Phase(
+            name="mail.deliver",
+            instructions_m=360,
+            ilp=2.4,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.12,
+            working_set=((512, 0.55), (4096, 0.80)),
+            mlp=2.2,
+            comm_penalty=0.12,
+        ),
+    ]
+    return PhasedApplication(
+        name="mailserver",
+        phases=phases,
+        qos_kind="latency",
+        description="postal mail server; QoS = message handling latency",
+        instructions_per_request=45_000,
+    )
+
+
+def make_astar() -> PhasedApplication:
+    """SPEC astar: pointer-chasing A* pathfinding, low ILP, big maps."""
+    phases = [
+        Phase(
+            name="astar.way",
+            instructions_m=30,
+            ilp=1.6,
+            mem_refs_per_inst=0.36,
+            l1_miss_rate=0.14,
+            working_set=((256, 0.40), (2048, 0.75), (8192, 0.85)),
+            mlp=1.5,
+            comm_penalty=0.22,
+            branch_fraction=0.17,
+            mispredict_rate=0.06,
+        ),
+        Phase(
+            name="astar.region",
+            instructions_m=26,
+            ilp=1.9,
+            mem_refs_per_inst=0.33,
+            l1_miss_rate=0.10,
+            working_set=((512, 0.70), (1024, 0.80)),
+            mlp=1.8,
+            comm_penalty=0.18,
+        ),
+    ]
+    return PhasedApplication(
+        name="astar", phases=phases, description="SPEC CINT2006 473.astar"
+    )
+
+
+def make_bzip() -> PhasedApplication:
+    """SPEC bzip2: alternating compression / decompression phases."""
+    phases = [
+        Phase(
+            name="bzip.compress",
+            instructions_m=32,
+            ilp=2.6,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.08,
+            working_set=((512, 0.75), (1024, 0.90)),
+            mlp=2.2,
+            comm_penalty=0.08,
+        ),
+        Phase(
+            name="bzip.sort",
+            instructions_m=24,
+            ilp=1.8,
+            mem_refs_per_inst=0.35,
+            l1_miss_rate=0.13,
+            working_set=((1024, 0.45), (4096, 0.85)),
+            mlp=2.0,
+            comm_penalty=0.15,
+        ),
+        Phase(
+            name="bzip.decompress",
+            instructions_m=26,
+            ilp=3.0,
+            mem_refs_per_inst=0.28,
+            l1_miss_rate=0.06,
+            working_set=((256, 0.85),),
+            mlp=2.5,
+            comm_penalty=0.05,
+        ),
+    ]
+    return PhasedApplication(
+        name="bzip", phases=phases, description="SPEC CINT2006 401.bzip2"
+    )
+
+
+def make_ferret() -> PhasedApplication:
+    """PARSEC ferret: content-similarity search pipeline (ROI only)."""
+    phases = [
+        Phase(
+            name="ferret.segment",
+            instructions_m=22,
+            ilp=3.2,
+            mem_refs_per_inst=0.28,
+            l1_miss_rate=0.07,
+            working_set=((512, 0.80),),
+            mlp=2.5,
+            comm_penalty=0.05,
+        ),
+        Phase(
+            name="ferret.extract",
+            instructions_m=24,
+            ilp=4.5,
+            mem_refs_per_inst=0.26,
+            l1_miss_rate=0.05,
+            working_set=((256, 0.85), (512, 0.92)),
+            mlp=2.8,
+            comm_penalty=0.03,
+        ),
+        Phase(
+            name="ferret.index",
+            instructions_m=26,
+            ilp=2.2,
+            mem_refs_per_inst=0.34,
+            l1_miss_rate=0.14,
+            working_set=((1024, 0.40), (8192, 0.85)),
+            mlp=2.0,
+            comm_penalty=0.10,
+        ),
+        Phase(
+            name="ferret.rank",
+            instructions_m=20,
+            ilp=3.8,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.08,
+            working_set=((2048, 0.88),),
+            mlp=2.5,
+            comm_penalty=0.06,
+        ),
+    ]
+    return PhasedApplication(
+        name="ferret", phases=phases, description="PARSEC ferret ROI"
+    )
+
+
+def make_gcc() -> PhasedApplication:
+    """SPEC gcc: many irregular phases with shifting working sets."""
+    phases = [
+        Phase(
+            name="gcc.parse",
+            instructions_m=18,
+            ilp=2.0,
+            mem_refs_per_inst=0.32,
+            l1_miss_rate=0.08,
+            working_set=((256, 0.70), (512, 0.82)),
+            mlp=2.0,
+            comm_penalty=0.14,
+            branch_fraction=0.21,
+            mispredict_rate=0.06,
+        ),
+        Phase(
+            name="gcc.ssa",
+            instructions_m=22,
+            ilp=2.8,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.11,
+            working_set=((512, 0.50), (4096, 0.88)),
+            mlp=2.2,
+            comm_penalty=0.10,
+        ),
+        Phase(
+            name="gcc.regalloc",
+            instructions_m=20,
+            ilp=1.7,
+            mem_refs_per_inst=0.34,
+            l1_miss_rate=0.13,
+            working_set=((1024, 0.55), (2048, 0.58), (8192, 0.90)),
+            mlp=1.8,
+            comm_penalty=0.25,
+        ),
+        Phase(
+            name="gcc.emit",
+            instructions_m=16,
+            ilp=2.4,
+            mem_refs_per_inst=0.28,
+            l1_miss_rate=0.06,
+            working_set=((128, 0.80),),
+            mlp=2.2,
+            comm_penalty=0.08,
+        ),
+    ]
+    return PhasedApplication(
+        name="gcc", phases=phases, description="SPEC CINT2006 403.gcc"
+    )
+
+
+def make_h264ref() -> PhasedApplication:
+    """SPEC h264ref: reference encoder, high-ILP streaming kernels."""
+    phases = [
+        Phase(
+            name="h264ref.me",
+            instructions_m=30,
+            ilp=4.8,
+            mem_refs_per_inst=0.27,
+            l1_miss_rate=0.05,
+            working_set=((256, 0.88), (512, 0.94)),
+            mlp=2.8,
+            comm_penalty=0.02,
+        ),
+        Phase(
+            name="h264ref.interp",
+            instructions_m=26,
+            ilp=5.5,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.07,
+            working_set=((512, 0.85), (1024, 0.92)),
+            mlp=3.0,
+            comm_penalty=0.02,
+        ),
+        Phase(
+            name="h264ref.cabac",
+            instructions_m=18,
+            ilp=1.5,
+            mem_refs_per_inst=0.24,
+            l1_miss_rate=0.05,
+            working_set=((128, 0.88),),
+            mlp=1.5,
+            comm_penalty=0.32,
+            branch_fraction=0.24,
+            mispredict_rate=0.08,
+        ),
+    ]
+    return PhasedApplication(
+        name="h264ref", phases=phases, description="SPEC CINT2006 464.h264ref"
+    )
+
+
+def make_hmmer() -> PhasedApplication:
+    """SPEC hmmer: profile HMM search, compute bound, tiny working set."""
+    phases = [
+        Phase(
+            name="hmmer.viterbi",
+            instructions_m=40,
+            ilp=5.5,
+            mem_refs_per_inst=0.22,
+            l1_miss_rate=0.02,
+            working_set=((128, 0.95),),
+            mlp=2.5,
+            comm_penalty=0.02,
+            branch_fraction=0.10,
+            mispredict_rate=0.01,
+        ),
+        Phase(
+            name="hmmer.post",
+            instructions_m=16,
+            ilp=3.0,
+            mem_refs_per_inst=0.26,
+            l1_miss_rate=0.05,
+            working_set=((256, 0.90),),
+            mlp=2.2,
+            comm_penalty=0.05,
+        ),
+    ]
+    return PhasedApplication(
+        name="hmmer", phases=phases, description="SPEC CINT2006 456.hmmer"
+    )
+
+
+def make_lib() -> PhasedApplication:
+    """SPEC libquantum ('lib'): streaming over a huge vector.
+
+    The quantum-register vector never fits in L2, so extra cache is pure
+    overhead — the cheapest cache is the best cache, and performance is
+    bandwidth (MLP) bound.
+    """
+    phases = [
+        Phase(
+            name="lib.gate",
+            instructions_m=36,
+            ilp=1.9,
+            mem_refs_per_inst=0.36,
+            l1_miss_rate=0.25,
+            working_set=((64, 0.05),),
+            mlp=4.0,
+            comm_penalty=0.06,
+            branch_fraction=0.08,
+            mispredict_rate=0.01,
+        ),
+        Phase(
+            name="lib.toffoli",
+            instructions_m=28,
+            ilp=2.3,
+            mem_refs_per_inst=0.34,
+            l1_miss_rate=0.22,
+            working_set=((64, 0.08),),
+            mlp=4.5,
+            comm_penalty=0.05,
+        ),
+    ]
+    return PhasedApplication(
+        name="lib", phases=phases, description="SPEC CINT2006 462.libquantum"
+    )
+
+
+def make_mcf() -> PhasedApplication:
+    """SPEC mcf: network simplex, memory bound with a huge working set."""
+    phases = [
+        Phase(
+            name="mcf.simplex",
+            instructions_m=30,
+            ilp=1.3,
+            mem_refs_per_inst=0.40,
+            l1_miss_rate=0.30,
+            working_set=((2048, 0.30), (8192, 0.60)),
+            mlp=2.0,
+            comm_penalty=0.20,
+            branch_fraction=0.16,
+            mispredict_rate=0.07,
+        ),
+        Phase(
+            name="mcf.refresh",
+            instructions_m=22,
+            ilp=1.6,
+            mem_refs_per_inst=0.38,
+            l1_miss_rate=0.24,
+            working_set=((1024, 0.35), (4096, 0.65)),
+            mlp=2.4,
+            comm_penalty=0.15,
+        ),
+    ]
+    return PhasedApplication(
+        name="mcf", phases=phases, description="SPEC CINT2006 429.mcf"
+    )
+
+
+def make_omnetpp() -> PhasedApplication:
+    """SPEC omnetpp: discrete-event network simulation, pointer heavy."""
+    phases = [
+        Phase(
+            name="omnetpp.events",
+            instructions_m=28,
+            ilp=1.7,
+            mem_refs_per_inst=0.36,
+            l1_miss_rate=0.16,
+            working_set=((512, 0.50), (4096, 0.80)),
+            mlp=1.8,
+            comm_penalty=0.25,
+            branch_fraction=0.20,
+            mispredict_rate=0.08,
+        ),
+        Phase(
+            name="omnetpp.stats",
+            instructions_m=18,
+            ilp=2.2,
+            mem_refs_per_inst=0.30,
+            l1_miss_rate=0.09,
+            working_set=((256, 0.75), (1024, 0.85)),
+            mlp=2.0,
+            comm_penalty=0.15,
+        ),
+    ]
+    return PhasedApplication(
+        name="omnetpp", phases=phases, description="SPEC CINT2006 471.omnetpp"
+    )
+
+
+def make_sjeng() -> PhasedApplication:
+    """SPEC sjeng: chess tree search, branchy, modest working set."""
+    phases = [
+        Phase(
+            name="sjeng.search",
+            instructions_m=30,
+            ilp=2.0,
+            mem_refs_per_inst=0.28,
+            l1_miss_rate=0.07,
+            working_set=((128, 0.70), (1024, 0.80)),
+            mlp=2.0,
+            comm_penalty=0.18,
+            branch_fraction=0.22,
+            mispredict_rate=0.09,
+        ),
+        Phase(
+            name="sjeng.eval",
+            instructions_m=24,
+            ilp=2.6,
+            mem_refs_per_inst=0.26,
+            l1_miss_rate=0.05,
+            working_set=((256, 0.85),),
+            mlp=2.2,
+            comm_penalty=0.10,
+        ),
+    ]
+    return PhasedApplication(
+        name="sjeng", phases=phases, description="SPEC CINT2006 458.sjeng"
+    )
+
+
+_FACTORIES: Dict[str, Callable[[], PhasedApplication]] = {
+    "apache": make_apache,
+    "astar": make_astar,
+    "bzip": make_bzip,
+    "ferret": make_ferret,
+    "gcc": make_gcc,
+    "h264ref": make_h264ref,
+    "hmmer": make_hmmer,
+    "lib": make_lib,
+    "mailserver": make_mailserver,
+    "mcf": make_mcf,
+    "omnetpp": make_omnetpp,
+    "sjeng": make_sjeng,
+    "x264": make_x264,
+}
+
+APP_NAMES: List[str] = sorted(_FACTORIES)
+"""The 13 applications in the order Fig. 7 / Fig. 10 list them."""
+
+
+def get_app(name: str) -> PhasedApplication:
+    """Build the named application model."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {APP_NAMES}"
+        ) from None
+    return factory()
+
+
+def ALL_APPS() -> List[PhasedApplication]:
+    """Fresh instances of all 13 applications."""
+    return [get_app(name) for name in APP_NAMES]

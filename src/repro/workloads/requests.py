@@ -1,0 +1,113 @@
+"""Open-loop request streams for the server workloads (Fig. 9).
+
+The paper drives apache with an oscillating stream of requests, typical
+of web servers (Wikipedia-like diurnal cycles), condensed in time so a
+simulation can cover several oscillations.  The request rate swings
+between a low trough and a peak that only briefly demands the
+worst-case virtual core — exactly the situation where racing-to-idle
+over-provisions and an adaptive runtime saves money.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class OscillatingLoad:
+    """A sinusoidal request-rate profile with an occasional burst peak.
+
+    Rates are in requests per second; time is in cycles (converted with
+    ``cycles_per_second``).  The profile is
+    ``mean + amplitude * sin(2*pi*t / period)``, optionally multiplied
+    by a burst factor inside the burst window, clipped at ``floor``.
+    """
+
+    mean_rate: float = 800.0
+    amplitude: float = 550.0
+    period_cycles: float = 320e6
+    floor: float = 100.0
+    burst_factor: float = 1.0
+    burst_start_cycle: float = 0.0
+    burst_end_cycle: float = 0.0
+    phase_offset: float = -math.pi / 2
+    """Start at the trough, as in Fig. 9's request-rate trace."""
+
+    def __post_init__(self) -> None:
+        if self.mean_rate <= 0:
+            raise ValueError(f"mean_rate must be positive, got {self.mean_rate}")
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {self.amplitude}")
+        if self.period_cycles <= 0:
+            raise ValueError(
+                f"period_cycles must be positive, got {self.period_cycles}"
+            )
+        if self.floor < 0:
+            raise ValueError(f"floor must be non-negative, got {self.floor}")
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+
+    def rate_at(self, cycle: float) -> float:
+        """Request rate (requests/second) at the given cycle."""
+        if cycle < 0:
+            raise ValueError(f"cycle must be non-negative, got {cycle}")
+        rate = self.mean_rate + self.amplitude * math.sin(
+            2.0 * math.pi * cycle / self.period_cycles + self.phase_offset
+        )
+        if self.burst_start_cycle <= cycle < self.burst_end_cycle:
+            rate *= self.burst_factor
+        return max(rate, self.floor)
+
+    @property
+    def peak_rate(self) -> float:
+        """The highest rate the profile can produce."""
+        return (self.mean_rate + self.amplitude) * self.burst_factor
+
+    def sample(self, start: float, end: float, samples: int) -> List[float]:
+        """Evenly spaced rates over ``[start, end)``."""
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        if end <= start:
+            raise ValueError("end must be after start")
+        step = (end - start) / samples
+        return [self.rate_at(start + i * step) for i in range(samples)]
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """An explicit request-rate trace (rates per fixed-length interval)."""
+
+    rates: Sequence[float]
+    interval_cycles: float
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValueError("a request trace needs at least one interval")
+        if any(rate < 0 for rate in self.rates):
+            raise ValueError("request rates must be non-negative")
+        if self.interval_cycles <= 0:
+            raise ValueError(
+                f"interval_cycles must be positive, got {self.interval_cycles}"
+            )
+
+    def rate_at(self, cycle: float) -> float:
+        """Rate for the interval containing ``cycle`` (wraps around)."""
+        if cycle < 0:
+            raise ValueError(f"cycle must be non-negative, got {cycle}")
+        index = int(cycle // self.interval_cycles) % len(self.rates)
+        return self.rates[index]
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.rates)
+
+    @property
+    def total_cycles(self) -> float:
+        return len(self.rates) * self.interval_cycles
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.rates)

@@ -1,0 +1,244 @@
+"""L2 banks, composed caches and the distance-delay model (Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.cache import (
+    CacheBank,
+    CacheGeometry,
+    ComposedL2,
+    l2_hit_delay,
+    mean_bank_distance,
+    mean_l2_hit_delay,
+)
+from repro.arch.params import DEFAULT_CACHE_PARAMS
+
+
+class TestL2HitDelay:
+    def test_formula_distance_times_two_plus_four(self):
+        for distance in range(10):
+            assert l2_hit_delay(distance) == distance * 2 + 4
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            l2_hit_delay(-1)
+
+    @given(d1=st.integers(0, 30), d2=st.integers(0, 30))
+    def test_monotone_in_distance(self, d1, d2):
+        if d1 < d2:
+            assert l2_hit_delay(d1) < l2_hit_delay(d2)
+
+
+class TestMeanBankDistance:
+    def test_grows_with_banks(self):
+        distances = [mean_bank_distance(b) for b in (1, 4, 16, 64, 128)]
+        assert distances == sorted(distances)
+        assert distances[0] < distances[-1]
+
+    def test_grows_with_slices_too(self):
+        assert mean_bank_distance(4, 8) > mean_bank_distance(4, 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mean_bank_distance(0)
+        with pytest.raises(ValueError):
+            mean_bank_distance(4, 0)
+
+    def test_mean_hit_delay_uses_formula(self):
+        distance = mean_bank_distance(16, 2)
+        assert mean_l2_hit_delay(16, 2) == pytest.approx(distance * 2 + 4)
+
+
+class TestCacheGeometry:
+    def test_total_kb(self):
+        assert CacheGeometry(num_banks=8, num_slices=2).total_kb == 512
+
+    def test_worst_case_flush_is_8000_cycles(self):
+        # Section VI-A quotes 64KB / 8B = 8000 cycles (decimal KB);
+        # binary-exact arithmetic gives 65536 / 8 = 8192.
+        geometry = CacheGeometry(num_banks=1, num_slices=1)
+        assert geometry.worst_case_flush_cycles() == 8192
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_banks=0, num_slices=1)
+
+
+def make_bank(**kwargs) -> CacheBank:
+    return CacheBank(DEFAULT_CACHE_PARAMS.l2_bank, **kwargs)
+
+
+class TestCacheBank:
+    def test_miss_then_hit(self):
+        bank = make_bank()
+        assert bank.access(0x1000) is False
+        assert bank.access(0x1000) is True
+        assert bank.hits == 1 and bank.misses == 1
+
+    def test_distinct_blocks_miss_independently(self):
+        bank = make_bank()
+        assert bank.access(0x0) is False
+        assert bank.access(0x40) is False  # next block
+
+    def test_same_block_different_bytes_hit(self):
+        bank = make_bank()
+        bank.access(0x100)
+        assert bank.access(0x13F) is True  # same 64B block
+
+    def test_write_marks_dirty(self):
+        bank = make_bank()
+        bank.access(0x2000, is_write=True)
+        assert bank.dirty_lines() == 1
+
+    def test_read_does_not_mark_dirty(self):
+        bank = make_bank()
+        bank.access(0x2000, is_write=False)
+        assert bank.dirty_lines() == 0
+
+    def test_lru_eviction_within_set(self):
+        bank = make_bank()
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        stride = level.num_sets * level.block_bytes  # same set, new tag
+        ways = level.associativity
+        for i in range(ways + 1):
+            bank.access(i * stride)
+        # The least recently used line (i=0) was evicted.
+        assert bank.contains(0) is False
+        assert bank.contains(ways * stride) is True
+
+    def test_lru_respects_recency(self):
+        bank = make_bank()
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        stride = level.num_sets * level.block_bytes
+        ways = level.associativity
+        for i in range(ways):
+            bank.access(i * stride)
+        bank.access(0)  # refresh line 0
+        bank.access(ways * stride)  # evicts line 1, not line 0
+        assert bank.contains(0) is True
+        assert bank.contains(stride) is False
+
+    def test_dirty_eviction_counts_writeback(self):
+        bank = make_bank()
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        stride = level.num_sets * level.block_bytes
+        bank.access(0, is_write=True)
+        for i in range(1, level.associativity + 1):
+            bank.access(i * stride)
+        assert bank.writebacks == 1
+
+    def test_flush_clears_and_counts(self):
+        bank = make_bank()
+        for i in range(10):
+            bank.access(i * 64, is_write=True)
+        dirty, cycles = bank.flush()
+        assert dirty == 10
+        assert cycles == 10 * 64 // 8  # blocks over a 64-bit network
+        assert bank.resident_lines() == 0
+
+    def test_flush_worst_case_8000_cycles(self):
+        bank = make_bank()
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        # Touch (and dirty) every block in the bank.
+        for block in range(level.num_blocks):
+            bank.access(block * level.block_bytes, is_write=True)
+        assert bank.dirty_lines() == level.num_blocks
+        _, cycles = bank.flush()
+        assert cycles == 8192  # paper rounds this to 8000
+
+    def test_clean_flush_is_free(self):
+        bank = make_bank()
+        bank.access(0x40)
+        dirty, cycles = bank.flush()
+        assert dirty == 0 and cycles == 0
+
+    def test_hit_delay_uses_distance(self):
+        assert make_bank(distance=0).hit_delay == 4
+        assert make_bank(distance=5).hit_delay == 14
+
+    def test_rejects_negative_distance_and_address(self):
+        with pytest.raises(ValueError):
+            make_bank(distance=-1)
+        bank = make_bank()
+        with pytest.raises(ValueError):
+            bank.access(-64)
+
+    def test_miss_rate(self):
+        bank = make_bank()
+        bank.access(0)
+        bank.access(0)
+        assert bank.miss_rate == pytest.approx(0.5)
+
+    @given(addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_second_pass_hits_if_fits(self, addresses):
+        """Any footprint smaller than the bank fully hits on re-access."""
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        blocks = {a // level.block_bytes for a in addresses}
+        # Keep the footprint small enough to avoid set conflicts.
+        if len(blocks) > level.associativity:
+            return
+        bank = make_bank()
+        for a in addresses:
+            bank.access(a)
+        for a in addresses:
+            assert bank.contains(a)
+
+
+class TestComposedL2:
+    def _banks(self, n):
+        return [make_bank(bank_id=i, distance=i) for i in range(n)]
+
+    def test_requires_banks(self):
+        with pytest.raises(ValueError):
+            ComposedL2([])
+
+    def test_total_kb(self):
+        assert ComposedL2(self._banks(4)).total_kb == 256
+
+    def test_addresses_hash_across_banks(self):
+        l2 = ComposedL2(self._banks(4))
+        used = {l2.bank_for(block * 64).bank_id for block in range(16)}
+        assert used == {0, 1, 2, 3}
+
+    def test_access_returns_bank_delay(self):
+        l2 = ComposedL2(self._banks(2))
+        hit, delay = l2.access(0)
+        assert hit is False
+        assert delay == l2.bank_for(0).hit_delay
+
+    def test_remove_bank_flushes_dirty(self):
+        l2 = ComposedL2(self._banks(2))
+        # Dirty a line in bank 1 (block 1 hashes to bank 1).
+        l2.access(64, is_write=True)
+        assert l2.bank_for(64).bank_id == 1
+        dirty, cycles = l2.remove_bank(1)
+        assert dirty == 1
+        assert cycles == 64 // 8
+        assert l2.num_banks == 1
+
+    def test_cannot_remove_last_bank(self):
+        l2 = ComposedL2(self._banks(1))
+        with pytest.raises(ValueError):
+            l2.remove_bank(0)
+
+    def test_remove_unknown_bank(self):
+        l2 = ComposedL2(self._banks(2))
+        with pytest.raises(KeyError):
+            l2.remove_bank(99)
+
+    def test_add_bank(self):
+        l2 = ComposedL2(self._banks(2))
+        l2.add_bank(make_bank(bank_id=7))
+        assert l2.num_banks == 3
+
+    def test_add_duplicate_bank_id(self):
+        l2 = ComposedL2(self._banks(2))
+        with pytest.raises(ValueError):
+            l2.add_bank(make_bank(bank_id=1))
+
+    def test_stats_aggregate(self):
+        l2 = ComposedL2(self._banks(2))
+        l2.access(0)
+        l2.access(0)
+        stats = l2.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1

@@ -1,0 +1,114 @@
+"""The area-linear pricing model (Section VI-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL, SECONDS_PER_HOUR
+from repro.arch.vcore import VCoreConfig
+
+
+class TestPaperAnchors:
+    def test_slice_price(self):
+        assert DEFAULT_COST_MODEL.slice_price_per_hour == pytest.approx(0.0098)
+
+    def test_l2_price_per_64kb(self):
+        assert DEFAULT_COST_MODEL.l2_price_per_64kb_hour == pytest.approx(0.0032)
+
+    def test_minimum_config_matches_t2_micro(self):
+        # 1 Slice + 64 KB L2 should price at Amazon's $0.013/hour.
+        assert DEFAULT_COST_MODEL.minimum_rate == pytest.approx(0.013)
+
+    def test_idle_is_free(self):
+        assert DEFAULT_COST_MODEL.idle_price_per_hour == 0.0
+
+
+class TestRate:
+    def test_big_core_rate(self):
+        # 8 Slices + 4 MB (64 banks): 8*.0098 + 64*.0032
+        rate = DEFAULT_COST_MODEL.rate(8, 4096)
+        assert rate == pytest.approx(8 * 0.0098 + 64 * 0.0032)
+
+    def test_rate_for_config(self):
+        config = VCoreConfig(slices=2, l2_kb=128)
+        assert DEFAULT_COST_MODEL.rate_for(config) == pytest.approx(
+            DEFAULT_COST_MODEL.rate(2, 128)
+        )
+
+    def test_zero_resources_cost_nothing(self):
+        assert DEFAULT_COST_MODEL.rate(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.rate(-1, 64)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.rate(1, -64)
+
+    @given(
+        s1=st.integers(min_value=0, max_value=16),
+        s2=st.integers(min_value=0, max_value=16),
+        kb1=st.integers(min_value=0, max_value=8192),
+        kb2=st.integers(min_value=0, max_value=8192),
+    )
+    def test_linearity(self, s1, s2, kb1, kb2):
+        """Price is additive in resources (the paper's linear model)."""
+        combined = DEFAULT_COST_MODEL.rate(s1 + s2, kb1 + kb2)
+        separate = DEFAULT_COST_MODEL.rate(s1, kb1) + DEFAULT_COST_MODEL.rate(
+            s2, kb2
+        )
+        assert combined == pytest.approx(separate)
+
+    @given(
+        slices=st.integers(min_value=1, max_value=8),
+        banks=st.integers(min_value=1, max_value=128),
+    )
+    def test_monotone_in_resources(self, slices, banks):
+        rate = DEFAULT_COST_MODEL.rate(slices, banks * 64)
+        assert rate > DEFAULT_COST_MODEL.rate(slices - 1, banks * 64)
+        assert rate > DEFAULT_COST_MODEL.rate(slices, (banks - 1) * 64)
+
+
+class TestCostForCycles:
+    def test_one_hour_equals_rate(self):
+        cycles = 1.0e9 * SECONDS_PER_HOUR  # one hour at 1 GHz
+        cost = DEFAULT_COST_MODEL.cost_for_cycles(1, 64, cycles)
+        assert cost == pytest.approx(DEFAULT_COST_MODEL.minimum_rate)
+
+    def test_zero_cycles_zero_cost(self):
+        assert DEFAULT_COST_MODEL.cost_for_cycles(8, 8192, 0.0) == 0.0
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.cost_for_cycles(1, 64, -1.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.cost_for_cycles(1, 64, 100.0, cycles_per_second=0)
+
+
+class TestValidation:
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ValueError):
+            CostModel(slice_price_per_hour=-0.01)
+        with pytest.raises(ValueError):
+            CostModel(l2_price_per_64kb_hour=-0.01)
+        with pytest.raises(ValueError):
+            CostModel(idle_price_per_hour=-0.01)
+
+    def test_rejects_bad_bank_size(self):
+        with pytest.raises(ValueError):
+            CostModel(l2_bank_kb=0)
+
+    def test_ratios_are_what_matter(self):
+        """Doubling all prices preserves every cost ratio (the paper
+        stresses its conclusions rest only on ratios)."""
+        doubled = CostModel(
+            slice_price_per_hour=2 * 0.0098,
+            l2_price_per_64kb_hour=2 * 0.0032,
+        )
+        a = VCoreConfig(3, 256)
+        b = VCoreConfig(8, 4096)
+        original_ratio = DEFAULT_COST_MODEL.rate_for(a) / DEFAULT_COST_MODEL.rate_for(b)
+        doubled_ratio = doubled.rate_for(a) / doubled.rate_for(b)
+        assert original_ratio == pytest.approx(doubled_ratio)

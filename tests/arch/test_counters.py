@@ -1,0 +1,112 @@
+"""Timestamped performance counters and VCore-level synthesis."""
+
+import pytest
+
+from repro.arch.counters import (
+    CounterKind,
+    CounterSample,
+    PerformanceCounters,
+    synthesize_vcore_reading,
+)
+
+
+class TestPerformanceCounters:
+    def test_counters_start_at_zero(self):
+        counters = PerformanceCounters(0)
+        for kind in CounterKind:
+            assert counters.value(kind) == 0
+
+    def test_increment(self):
+        counters = PerformanceCounters(0)
+        counters.increment(CounterKind.CYCLES, 10)
+        counters.increment(CounterKind.CYCLES)
+        assert counters.value(CounterKind.CYCLES) == 11
+
+    def test_increment_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PerformanceCounters(0).increment(CounterKind.CYCLES, -1)
+
+    def test_read_is_timestamped(self):
+        counters = PerformanceCounters(3)
+        counters.increment(CounterKind.BRANCHES, 7)
+        sample = counters.read(CounterKind.BRANCHES, timestamp=123)
+        assert sample == CounterSample(
+            slice_id=3, kind=CounterKind.BRANCHES, value=7, timestamp=123
+        )
+
+    def test_reset(self):
+        counters = PerformanceCounters(0)
+        counters.increment(CounterKind.L2_MISSES, 5)
+        counters.reset()
+        assert counters.value(CounterKind.L2_MISSES) == 0
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            CounterSample(0, CounterKind.CYCLES, -1, 0)
+        with pytest.raises(ValueError):
+            CounterSample(0, CounterKind.CYCLES, 1, -1)
+
+
+def _samples(slice_id, instructions, cycles, ts):
+    return [
+        CounterSample(slice_id, CounterKind.INSTRUCTIONS_COMMITTED,
+                      instructions, ts),
+        CounterSample(slice_id, CounterKind.CYCLES, cycles, ts),
+    ]
+
+
+class TestSynthesis:
+    def test_single_slice_ipc(self):
+        reading = synthesize_vcore_reading(_samples(0, 1500, 1000, ts=10))
+        assert reading.ipc == pytest.approx(1.5)
+
+    def test_multi_slice_instructions_sum(self):
+        samples = _samples(0, 800, 1000, 10) + _samples(1, 700, 1000, 12)
+        reading = synthesize_vcore_reading(samples)
+        assert reading.instructions == 1500
+        # Cycles use the widest per-slice window, never the sum.
+        assert reading.cycles == 1000
+        assert reading.ipc == pytest.approx(1.5)
+
+    def test_windowed_against_previous(self):
+        previous = _samples(0, 1000, 2000, 5)
+        current = _samples(0, 1600, 2500, 15)
+        reading = synthesize_vcore_reading(current, previous)
+        assert reading.instructions == 600
+        assert reading.cycles == 500
+        assert reading.ipc == pytest.approx(1.2)
+
+    def test_window_bounds(self):
+        samples = _samples(0, 10, 10, 100) + _samples(1, 10, 10, 140)
+        reading = synthesize_vcore_reading(samples)
+        assert reading.window_start == 100
+        assert reading.window_end == 140
+
+    def test_miss_rates(self):
+        samples = [
+            CounterSample(0, CounterKind.L2_ACCESSES, 100, 1),
+            CounterSample(0, CounterKind.L2_MISSES, 25, 1),
+            CounterSample(0, CounterKind.BRANCHES, 50, 1),
+            CounterSample(0, CounterKind.BRANCH_MISPREDICTS, 5, 1),
+            CounterSample(0, CounterKind.CYCLES, 10, 1),
+            CounterSample(0, CounterKind.INSTRUCTIONS_COMMITTED, 10, 1),
+        ]
+        reading = synthesize_vcore_reading(samples)
+        assert reading.l2_miss_rate == pytest.approx(0.25)
+        assert reading.branch_mispredict_rate == pytest.approx(0.1)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_vcore_reading([])
+
+    def test_backwards_counter_rejected(self):
+        previous = _samples(0, 1000, 1000, 1)
+        current = _samples(0, 900, 1100, 2)  # instructions went down
+        with pytest.raises(ValueError):
+            synthesize_vcore_reading(current, previous)
+
+    def test_zero_cycles_gives_zero_ipc(self):
+        samples = [
+            CounterSample(0, CounterKind.INSTRUCTIONS_COMMITTED, 10, 1)
+        ]
+        assert synthesize_vcore_reading(samples).ipc == 0.0

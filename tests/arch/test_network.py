@@ -1,0 +1,150 @@
+"""On-chip networks: mesh latency, counter request/reply, privilege."""
+
+import pytest
+
+from repro.arch.counters import CounterKind, PerformanceCounters
+from repro.arch.network import (
+    CounterReply,
+    OperandNetwork,
+    PrivilegeError,
+    RuntimeInterfaceNetwork,
+    SwitchedNetwork,
+    manhattan,
+)
+
+
+class TestManhattan:
+    def test_distance(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+
+class TestSwitchedNetwork:
+    def test_latency_is_hops_plus_router(self):
+        net = SwitchedNetwork(hop_latency=2, router_latency=1)
+        assert net.latency((0, 0), (3, 0)) == 7
+
+    def test_send_returns_arrival(self):
+        net = SwitchedNetwork()
+        arrival = net.send((0, 0), (2, 2), "msg", now=10)
+        assert arrival == 10 + 4 + 1
+
+    def test_advance_delivers_due_messages(self):
+        net = SwitchedNetwork()
+        delivered = []
+        net.send((0, 0), (1, 0), "a", now=0, deliver=delivered.append)
+        net.send((0, 0), (5, 5), "b", now=0, deliver=delivered.append)
+        net.advance(2)
+        assert delivered == ["a"]
+        net.advance(100)
+        assert delivered == ["a", "b"]
+
+    def test_in_flight_count(self):
+        net = SwitchedNetwork()
+        net.send((0, 0), (4, 4), "x", now=0)
+        assert net.in_flight == 1
+        net.advance(100)
+        assert net.in_flight == 0
+
+    def test_accounting(self):
+        net = SwitchedNetwork()
+        net.send((0, 0), (2, 0), "x", now=0)
+        net.send((0, 0), (0, 3), "y", now=0)
+        assert net.messages_sent == 2
+        assert net.total_hops == 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SwitchedNetwork(hop_latency=0)
+        with pytest.raises(ValueError):
+            SwitchedNetwork(router_latency=-1)
+        net = SwitchedNetwork()
+        with pytest.raises(ValueError):
+            net.send((0, 0), (1, 1), "x", now=-1)
+
+    def test_operand_network_forward(self):
+        net = OperandNetwork()
+        arrival = net.forward_operand((0, 0), (1, 0), value=99, now=5)
+        assert arrival == 7
+
+
+class TestRuntimeInterfaceNetwork:
+    def _network_with_slice(self):
+        net = RuntimeInterfaceNetwork()
+        counters = PerformanceCounters(0)
+        counters.increment(CounterKind.INSTRUCTIONS_COMMITTED, 500)
+        net.register_slice(0, (4, 4), counters)
+        net.grant_privilege((0, 0))
+        return net, counters
+
+    def test_counter_round_trip(self):
+        net, _ = self._network_with_slice()
+        reply = net.request_counter(
+            (0, 0), 0, CounterKind.INSTRUCTIONS_COMMITTED, now=100
+        )
+        assert reply.sample.value == 500
+        # Request there (8 hops + 1) and reply back: 18 cycles.
+        assert reply.round_trip_cycles == 18
+
+    def test_sample_timestamped_at_remote_read(self):
+        net, _ = self._network_with_slice()
+        reply = net.request_counter(
+            (0, 0), 0, CounterKind.INSTRUCTIONS_COMMITTED, now=100
+        )
+        assert reply.sample.timestamp == 100 + 9
+
+    def test_unprivileged_requester_rejected(self):
+        net, _ = self._network_with_slice()
+        with pytest.raises(PrivilegeError):
+            net.request_counter(
+                (9, 9), 0, CounterKind.INSTRUCTIONS_COMMITTED, now=0
+            )
+
+    def test_privilege_revocation(self):
+        net, _ = self._network_with_slice()
+        net.revoke_privilege((0, 0))
+        with pytest.raises(PrivilegeError):
+            net.request_counter(
+                (0, 0), 0, CounterKind.INSTRUCTIONS_COMMITTED, now=0
+            )
+
+    def test_unknown_slice(self):
+        net, _ = self._network_with_slice()
+        with pytest.raises(KeyError):
+            net.request_counter((0, 0), 7, CounterKind.CYCLES, now=0)
+
+    def test_read_vcore_queries_all(self):
+        net = RuntimeInterfaceNetwork()
+        for slice_id in range(3):
+            net.register_slice(slice_id, (slice_id, 0), PerformanceCounters(slice_id))
+        net.grant_privilege((0, 0))
+        replies = net.read_vcore(
+            (0, 0),
+            [0, 1, 2],
+            [CounterKind.CYCLES, CounterKind.INSTRUCTIONS_COMMITTED],
+            now=0,
+        )
+        assert len(replies) == 6
+        assert all(isinstance(reply, CounterReply) for reply in replies)
+
+    def test_send_command_requires_privilege(self):
+        net = RuntimeInterfaceNetwork()
+        with pytest.raises(PrivilegeError):
+            net.send_command((1, 1), (2, 2), "EXPAND", now=0)
+        net.grant_privilege((1, 1))
+        arrival = net.send_command((1, 1), (2, 2), "EXPAND", now=0)
+        assert arrival == 3
+
+    def test_duplicate_registration(self):
+        net = RuntimeInterfaceNetwork()
+        net.register_slice(0, (0, 0), PerformanceCounters(0))
+        with pytest.raises(ValueError):
+            net.register_slice(0, (1, 1), PerformanceCounters(0))
+
+    def test_unregister(self):
+        net = RuntimeInterfaceNetwork()
+        net.register_slice(0, (0, 0), PerformanceCounters(0))
+        net.unregister_slice(0)
+        net.grant_privilege((0, 0))
+        with pytest.raises(KeyError):
+            net.request_counter((0, 0), 0, CounterKind.CYCLES, now=0)

@@ -1,0 +1,127 @@
+"""Table I and Table II parameter records."""
+
+import pytest
+
+from repro.arch.params import (
+    CacheLevelParams,
+    CacheParams,
+    SliceParams,
+    DEFAULT_CACHE_PARAMS,
+    DEFAULT_SLICE_PARAMS,
+)
+
+
+class TestSliceParams:
+    def test_table1_functional_units(self):
+        assert DEFAULT_SLICE_PARAMS.functional_units == 2
+
+    def test_table1_physical_registers(self):
+        assert DEFAULT_SLICE_PARAMS.physical_registers == 128
+
+    def test_table1_local_registers(self):
+        assert DEFAULT_SLICE_PARAMS.local_registers == 64
+
+    def test_table1_issue_window(self):
+        assert DEFAULT_SLICE_PARAMS.issue_window == 32
+
+    def test_table1_load_store_queue(self):
+        assert DEFAULT_SLICE_PARAMS.load_store_queue == 32
+
+    def test_table1_rob_size(self):
+        assert DEFAULT_SLICE_PARAMS.rob_size == 64
+
+    def test_table1_store_buffer(self):
+        assert DEFAULT_SLICE_PARAMS.store_buffer == 8
+
+    def test_table1_max_inflight_loads(self):
+        assert DEFAULT_SLICE_PARAMS.max_inflight_loads == 8
+
+    def test_table1_memory_delay(self):
+        assert DEFAULT_SLICE_PARAMS.memory_delay == 100
+
+    def test_fetch_two_per_cycle(self):
+        # "the ability to fetch two instructions per cycle" (Sec III-A)
+        assert DEFAULT_SLICE_PARAMS.fetch_width == 2
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_SLICE_PARAMS.rob_size = 128
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            SliceParams(rob_size=0)
+        with pytest.raises(ValueError):
+            SliceParams(memory_delay=-1)
+
+    def test_rejects_local_exceeding_physical(self):
+        with pytest.raises(ValueError):
+            SliceParams(local_registers=256, physical_registers=128)
+
+    def test_custom_params(self):
+        params = SliceParams(rob_size=128, issue_window=64)
+        assert params.rob_size == 128
+        assert params.issue_window == 64
+
+
+class TestCacheLevelParams:
+    def test_l1d_table2(self):
+        level = DEFAULT_CACHE_PARAMS.l1d
+        assert (level.size_kb, level.block_bytes, level.associativity) == (
+            16,
+            64,
+            2,
+        )
+
+    def test_l1i_table2(self):
+        level = DEFAULT_CACHE_PARAMS.l1i
+        assert (level.size_kb, level.block_bytes, level.associativity) == (
+            16,
+            64,
+            2,
+        )
+
+    def test_l2_bank_table2(self):
+        level = DEFAULT_CACHE_PARAMS.l2_bank
+        assert (level.size_kb, level.block_bytes, level.associativity) == (
+            64,
+            64,
+            4,
+        )
+
+    def test_derived_geometry(self):
+        level = CacheLevelParams(size_kb=64, block_bytes=64, associativity=4)
+        assert level.size_bytes == 65536
+        assert level.num_blocks == 1024
+        assert level.num_sets == 256
+
+    def test_rejects_indivisible_associativity(self):
+        with pytest.raises(ValueError):
+            CacheLevelParams(size_kb=64, block_bytes=64, associativity=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheLevelParams(size_kb=0, block_bytes=64, associativity=2)
+        with pytest.raises(ValueError):
+            CacheLevelParams(size_kb=16, block_bytes=0, associativity=2)
+
+
+class TestCacheParams:
+    def test_l1_hit_delay_is_3(self):
+        assert DEFAULT_CACHE_PARAMS.l1_hit_delay == 3
+
+    def test_l2_delay_formula_constants(self):
+        # Table II: hit delay = distance*2 + 4
+        assert DEFAULT_CACHE_PARAMS.l2_delay_per_hop == 2
+        assert DEFAULT_CACHE_PARAMS.l2_base_delay == 4
+
+    def test_network_width_64_bits(self):
+        assert DEFAULT_CACHE_PARAMS.network_width_bytes == 8
+
+    def test_l2_bank_kb(self):
+        assert DEFAULT_CACHE_PARAMS.l2_bank_kb == 64
+
+    def test_rejects_bad_delays(self):
+        with pytest.raises(ValueError):
+            CacheParams(l1_hit_delay=0)
+        with pytest.raises(ValueError):
+            CacheParams(network_width_bytes=0)

@@ -1,0 +1,181 @@
+"""Reconfiguration commands and cycle costs (Section VI-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.reconfig import (
+    ReconfigCommand,
+    ReconfigCostModel,
+    ReconfigEngine,
+    ReconfigKind,
+    DEFAULT_RECONFIG_COSTS,
+)
+from repro.arch.registers import DistributedRegisterFile
+from repro.arch.vcore import VCoreConfig
+
+CONFIGS = st.builds(
+    VCoreConfig,
+    slices=st.integers(1, 8),
+    l2_kb=st.sampled_from([64 * 2 ** i for i in range(8)]),
+)
+
+
+class TestCostModel:
+    def test_slice_expansion_about_15_cycles(self):
+        # "Slice expansion is fast — requiring only a pipeline flush —
+        # approximately 15 cycles."
+        assert DEFAULT_RECONFIG_COSTS.slice_expand_cycles() == 15
+
+    def test_slice_contraction_at_most_64_more(self):
+        expand = DEFAULT_RECONFIG_COSTS.slice_expand_cycles()
+        shrink = DEFAULT_RECONFIG_COSTS.slice_shrink_cycles()
+        assert shrink - expand <= 64
+        assert shrink - expand == 64  # worst case: full local RF flush
+
+    def test_shrink_with_few_flushed_values(self):
+        cost = DEFAULT_RECONFIG_COSTS.slice_shrink_cycles(flushed_values=5)
+        assert cost == DEFAULT_RECONFIG_COSTS.pipeline_flush_cycles() + 5
+
+    def test_register_flush_bounded_by_local_registers(self):
+        assert DEFAULT_RECONFIG_COSTS.register_flush_cycles(1000) == 64
+
+    def test_l2_flush_worst_case_8000(self):
+        # 64 KB bank over a 64-bit network; the paper rounds
+        # 64KB/8B to 8000 cycles, binary-exact is 8192.
+        assert DEFAULT_RECONFIG_COSTS.l2_bank_flush_cycles() == 8192
+
+    def test_l2_flush_scales_with_dirty_fraction(self):
+        model = ReconfigCostModel(dirty_fraction=0.25)
+        assert model.l2_bank_flush_cycles() == 2048
+
+    def test_l2_expand_is_just_a_pipeline_flush(self):
+        assert (
+            DEFAULT_RECONFIG_COSTS.l2_expand_cycles()
+            == DEFAULT_RECONFIG_COSTS.pipeline_flush_cycles()
+        )
+
+    def test_rejects_bad_dirty_fraction(self):
+        with pytest.raises(ValueError):
+            ReconfigCostModel(dirty_fraction=1.5)
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RECONFIG_COSTS.slice_expand_cycles(0)
+        with pytest.raises(ValueError):
+            DEFAULT_RECONFIG_COSTS.l2_shrink_cycles(0)
+        with pytest.raises(ValueError):
+            DEFAULT_RECONFIG_COSTS.register_flush_cycles(-1)
+
+
+class TestTransitionCycles:
+    def test_no_change_is_free(self):
+        config = VCoreConfig(2, 128)
+        assert DEFAULT_RECONFIG_COSTS.transition_cycles(config, config) == 0
+
+    def test_pure_expansion(self):
+        cost = DEFAULT_RECONFIG_COSTS.transition_cycles(
+            VCoreConfig(1, 64), VCoreConfig(4, 64)
+        )
+        assert cost == 15
+
+    def test_l2_shrink_dominates(self):
+        cost = DEFAULT_RECONFIG_COSTS.transition_cycles(
+            VCoreConfig(1, 8192), VCoreConfig(1, 64)
+        )
+        assert cost == 8192
+
+    def test_concurrent_slice_and_l2(self):
+        # Slice shrink (79) overlaps with L2 expand (15): max = 79.
+        cost = DEFAULT_RECONFIG_COSTS.transition_cycles(
+            VCoreConfig(8, 64), VCoreConfig(1, 128)
+        )
+        assert cost == 79
+
+    @given(old=CONFIGS, new=CONFIGS)
+    def test_cost_is_nonnegative_and_bounded(self, old, new):
+        cost = DEFAULT_RECONFIG_COSTS.transition_cycles(old, new)
+        assert 0 <= cost <= 8192
+
+
+class TestCommands:
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigCommand(ReconfigKind.SLICE_EXPAND, 0)
+
+    def test_commands_for_growth(self):
+        commands = ReconfigEngine.commands_for(
+            VCoreConfig(1, 64), VCoreConfig(4, 256)
+        )
+        kinds = {c.kind: c.count for c in commands}
+        assert kinds == {
+            ReconfigKind.SLICE_EXPAND: 3,
+            ReconfigKind.L2_EXPAND: 3,
+        }
+
+    def test_commands_for_mixed_change(self):
+        commands = ReconfigEngine.commands_for(
+            VCoreConfig(4, 64), VCoreConfig(2, 512)
+        )
+        kinds = {c.kind: c.count for c in commands}
+        assert kinds == {
+            ReconfigKind.SLICE_SHRINK: 2,
+            ReconfigKind.L2_EXPAND: 7,
+        }
+
+    def test_no_commands_when_unchanged(self):
+        assert ReconfigEngine.commands_for(
+            VCoreConfig(2, 128), VCoreConfig(2, 128)
+        ) == []
+
+
+class TestEngine:
+    def test_apply_updates_state_and_totals(self):
+        engine = ReconfigEngine(initial=VCoreConfig(1, 64))
+        result = engine.apply(VCoreConfig(2, 128))
+        assert engine.current == VCoreConfig(2, 128)
+        assert engine.total_overhead_cycles == result.overhead_cycles
+        assert len(engine.history) == 1
+
+    def test_overheads_accumulate(self):
+        engine = ReconfigEngine(initial=VCoreConfig(1, 64))
+        engine.apply(VCoreConfig(4, 512))
+        engine.apply(VCoreConfig(1, 64))
+        assert engine.total_overhead_cycles > 15
+
+    def test_register_file_shrinks_with_engine(self):
+        registers = DistributedRegisterFile(slice_ids=range(4))
+        for gr in range(12):
+            registers.write(gr % 4, gr, gr + 1)
+        engine = ReconfigEngine(
+            initial=VCoreConfig(4, 256), register_file=registers
+        )
+        result = engine.apply(VCoreConfig(2, 256))
+        assert result.flush is not None
+        assert registers.num_slices == 2
+        # Architectural state preserved.
+        assert registers.architectural_state() == {
+            gr: gr + 1 for gr in range(12)
+        }
+
+    def test_register_file_expands_with_engine(self):
+        registers = DistributedRegisterFile(slice_ids=range(2))
+        engine = ReconfigEngine(
+            initial=VCoreConfig(2, 64), register_file=registers
+        )
+        engine.apply(VCoreConfig(5, 64))
+        assert registers.num_slices == 5
+
+    def test_measured_flush_cost_below_worst_case(self):
+        """With few dirty registers the shrink is cheaper than the
+        64-cycle bound."""
+        registers = DistributedRegisterFile(slice_ids=range(2))
+        registers.write(1, 0, 42)  # a single primary value to flush
+        engine = ReconfigEngine(
+            initial=VCoreConfig(2, 64), register_file=registers
+        )
+        result = engine.apply(VCoreConfig(1, 64))
+        worst = DEFAULT_RECONFIG_COSTS.slice_shrink_cycles()
+        assert result.overhead_cycles < worst
+        assert result.overhead_cycles == (
+            DEFAULT_RECONFIG_COSTS.pipeline_flush_cycles() + 1
+        )

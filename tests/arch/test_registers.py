@@ -1,0 +1,211 @@
+"""The distributed register file and Register Flush protocol (Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import SliceParams
+from repro.arch.registers import DistributedRegisterFile, RegisterFlushError
+
+
+def make_rf(num_slices=2, **params):
+    return DistributedRegisterFile(
+        slice_ids=range(num_slices),
+        params=SliceParams(**params) if params else SliceParams(),
+    )
+
+
+class TestBasicOperations:
+    def test_write_then_read_locally(self):
+        rf = make_rf()
+        rf.write(0, 5, 42)
+        assert rf.read(0, 5) == 42
+
+    def test_remote_read_fetches_copy(self):
+        rf = make_rf()
+        rf.write(0, 5, 42)
+        before = rf.operand_messages
+        assert rf.read(1, 5) == 42
+        assert rf.operand_messages == before + 1
+
+    def test_second_remote_read_uses_local_copy(self):
+        rf = make_rf()
+        rf.write(0, 5, 42)
+        rf.read(1, 5)
+        before = rf.operand_messages
+        rf.read(1, 5)
+        assert rf.operand_messages == before  # no new network traffic
+
+    def test_primary_writer_tracked(self):
+        rf = make_rf()
+        rf.write(1, 7, 10)
+        assert rf.primary_writer(7) == 1
+
+    def test_rewrite_moves_primary(self):
+        rf = make_rf()
+        rf.write(0, 7, 10)
+        rf.write(1, 7, 20)
+        assert rf.primary_writer(7) == 1
+        assert rf.value_of(7) == 20
+
+    def test_rewrite_invalidates_stale_copies(self):
+        rf = make_rf()
+        rf.write(0, 7, 10)
+        rf.read(1, 7)  # slice 1 holds a copy of 10
+        rf.write(0, 7, 99)
+        assert rf.read(1, 7) == 99
+
+    def test_read_unwritten_raises(self):
+        rf = make_rf()
+        with pytest.raises(KeyError):
+            rf.read(0, 3)
+
+    def test_register_bounds(self):
+        rf = make_rf()
+        with pytest.raises(ValueError):
+            rf.write(0, 128, 1)
+        with pytest.raises(ValueError):
+            rf.write(0, -1, 1)
+
+    def test_unknown_slice(self):
+        rf = make_rf()
+        with pytest.raises(KeyError):
+            rf.write(5, 0, 1)
+
+    def test_duplicate_slice_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedRegisterFile(slice_ids=[0, 0, 1])
+
+    def test_needs_a_slice(self):
+        with pytest.raises(ValueError):
+            DistributedRegisterFile(slice_ids=[])
+
+
+class TestFigure5Scenario:
+    """The exact shrink example from Fig. 5."""
+
+    def test_two_slice_to_one_slice_shrink(self):
+        rf = make_rf(num_slices=2)
+        # gr0 primarily written by Slice 0; gr1, gr2 by Slice 1.
+        rf.write(0, 0, 100)   # ld gr0, ADDR1 on Slice1 (our slice 0)
+        rf.write(1, 1, 200)   # ld gr1, ADDR2 on Slice2 (our slice 1)
+        rf.read(0, 1)         # Slice 0 reads gr1 -> gets a local copy
+        rf.write(1, 2, 300)   # add gr2, gr0, gr1 on Slice2
+        rf.read(1, 0)         # Slice 2 holds a reader copy of gr0
+
+        record = rf.shrink([0])
+
+        # Slice 1 was the primary writer of gr1 and gr2 -> 2 pushes.
+        assert record.messages == 2
+        # gr1 already had a copy on the survivor (adopted), gr2 renamed.
+        assert record.adopted == 1
+        assert record.renamed == 1
+        assert record.spills == 0
+        # Full architectural state survives.
+        assert rf.value_of(0) == 100
+        assert rf.value_of(1) == 200
+        assert rf.value_of(2) == 300
+        assert rf.num_slices == 1
+
+    def test_survivor_becomes_primary(self):
+        rf = make_rf()
+        rf.write(1, 9, 77)
+        rf.shrink([0])
+        assert rf.primary_writer(9) == 0
+
+
+class TestShrinkBounds:
+    def test_flush_count_bounded_by_global_registers(self):
+        """Only primary writers flush, so messages <= global registers."""
+        params = SliceParams()
+        rf = DistributedRegisterFile(slice_ids=range(4), params=params)
+        # Write as many globals as one slice's local registers allow
+        # from each departing slice.
+        for gr in range(params.physical_registers):
+            rf.write(1 + gr % 3, gr, gr)
+        record = rf.shrink([0, 1])
+        live_on_departing = params.physical_registers * 2 // 3
+        assert record.messages <= params.physical_registers
+
+    def test_no_flush_when_survivor_holds_everything(self):
+        rf = make_rf()
+        rf.write(0, 1, 11)
+        rf.write(0, 2, 22)
+        record = rf.shrink([0])
+        assert record.messages == 0
+        assert record.cycles == 0
+
+    def test_shrink_needs_survivors(self):
+        rf = make_rf()
+        with pytest.raises(ValueError):
+            rf.shrink([])
+
+    def test_shrink_unknown_survivor(self):
+        rf = make_rf()
+        with pytest.raises(KeyError):
+            rf.shrink([9])
+
+    def test_cycles_count_messages(self):
+        rf = make_rf()
+        for gr in range(10):
+            rf.write(1, gr, gr)
+        record = rf.shrink([0])
+        assert record.cycles == record.messages == 10
+
+
+class TestExpand:
+    def test_expand_adds_empty_slices(self):
+        rf = make_rf(num_slices=1)
+        rf.write(0, 3, 33)
+        rf.expand([1, 2])
+        assert rf.num_slices == 3
+        assert rf.read(2, 3) == 33  # remote fetch works
+
+    def test_expand_duplicate_rejected(self):
+        rf = make_rf()
+        with pytest.raises(ValueError):
+            rf.expand([1])
+
+
+class TestStatePreservation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 3),    # writing slice
+                st.integers(0, 63),   # global register
+                st.integers(0, 10_000),  # value
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        survivors=st.sets(st.integers(0, 3), min_size=1, max_size=3),
+    )
+    def test_shrink_preserves_every_live_value(self, writes, survivors):
+        """Property: architectural state is identical across any shrink
+        (unless spilled, which these sizes never trigger)."""
+        rf = DistributedRegisterFile(slice_ids=range(4))
+        expected = {}
+        for slice_id, gr, value in writes:
+            rf.write(slice_id, gr, value)
+            expected[gr] = value
+        record = rf.shrink(sorted(survivors))
+        assert record.spills == 0
+        assert rf.architectural_state() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 63), st.integers()),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_flush_messages_equal_departing_primaries(self, writes):
+        rf = make_rf(num_slices=2)
+        for slice_id, gr, value in writes:
+            rf.write(slice_id, gr, value)
+        departing_primaries = sum(
+            1 for gr in rf.live_globals() if rf.primary_writer(gr) == 1
+        )
+        record = rf.shrink([0])
+        assert record.messages == departing_primaries

@@ -1,0 +1,47 @@
+"""The Slice tile abstraction."""
+
+import pytest
+
+from repro.arch.counters import CounterKind
+from repro.arch.params import SliceParams
+from repro.arch.slice_unit import Slice
+
+
+class TestSlice:
+    def test_defaults(self):
+        unit = Slice(slice_id=3, position=(2, 5))
+        assert unit.slice_id == 3
+        assert unit.position == (2, 5)
+        assert not unit.is_allocated
+        assert not unit.is_runtime_slice
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Slice(slice_id=-1)
+
+    def test_counters_auto_created(self):
+        unit = Slice(slice_id=0)
+        unit.counters.increment(CounterKind.CYCLES, 5)
+        assert unit.counters.value(CounterKind.CYCLES) == 5
+        assert unit.counters.slice_id == 0
+
+    def test_allocate_and_release(self):
+        unit = Slice(slice_id=0)
+        unit.allocate(7)
+        assert unit.is_allocated
+        assert unit.owner_vcore == 7
+        unit.release()
+        assert not unit.is_allocated
+
+    def test_double_allocation_rejected(self):
+        unit = Slice(slice_id=0)
+        unit.allocate(1)
+        with pytest.raises(ValueError):
+            unit.allocate(2)
+
+    def test_pipeline_flush_is_about_15_cycles(self):
+        assert Slice(slice_id=0).pipeline_flush_cycles() == 15
+
+    def test_pipeline_flush_scales_with_rob(self):
+        deep = Slice(slice_id=0, params=SliceParams(rob_size=128))
+        assert deep.pipeline_flush_cycles() > 15

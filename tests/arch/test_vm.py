@@ -1,0 +1,151 @@
+"""VM grouping and the ILP/TLP trade-off (Section III-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.vcore import VCoreConfig
+from repro.arch.vm import (
+    VirtualMachine,
+    best_vm_shape,
+    enumerate_vm_shapes,
+    uniform_vm,
+    vm_throughput,
+)
+from repro.workloads.phase import Phase
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        name="p",
+        instructions_m=10,
+        ilp=3.0,
+        mem_refs_per_inst=0.25,
+        l1_miss_rate=0.05,
+        working_set=((128, 0.9),),
+        comm_penalty=0.05,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+class TestVirtualMachine:
+    def test_requires_vcores(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(vcores=())
+
+    def test_totals(self):
+        vm = uniform_vm(3, VCoreConfig(2, 128))
+        assert vm.num_vcores == 3
+        assert vm.total_slices == 6
+        assert vm.total_tiles == 12
+
+    def test_cost_is_sum_of_vcores(self):
+        config = VCoreConfig(2, 128)
+        vm = uniform_vm(4, config)
+        assert vm.cost_rate() == pytest.approx(4 * config.cost_rate())
+
+    def test_str(self):
+        assert str(uniform_vm(2, VCoreConfig(1, 64))) == "2x 1S/64KB"
+        mixed = VirtualMachine(vcores=(VCoreConfig(1, 64), VCoreConfig(2, 128)))
+        assert "+" in str(mixed)
+
+    def test_uniform_vm_validation(self):
+        with pytest.raises(ValueError):
+            uniform_vm(0, VCoreConfig(1, 64))
+
+
+class TestVmThroughput:
+    def test_single_vcore_equals_ipc(self):
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+
+        phase = make_phase()
+        config = VCoreConfig(2, 128)
+        vm = uniform_vm(1, config)
+        assert vm_throughput(phase, vm, 0.9) == pytest.approx(
+            DEFAULT_PERF_MODEL.ipc(phase, config)
+        )
+
+    def test_fully_parallel_work_sums_cores(self):
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+
+        phase = make_phase()
+        config = VCoreConfig(2, 128)
+        vm = uniform_vm(4, config)
+        assert vm_throughput(phase, vm, 1.0) == pytest.approx(
+            4 * DEFAULT_PERF_MODEL.ipc(phase, config)
+        )
+
+    def test_fully_serial_work_sees_one_core(self):
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+
+        phase = make_phase()
+        config = VCoreConfig(2, 128)
+        vm = uniform_vm(4, config)
+        assert vm_throughput(phase, vm, 0.0) == pytest.approx(
+            DEFAULT_PERF_MODEL.ipc(phase, config)
+        )
+
+    @given(p=st.floats(min_value=0.0, max_value=1.0))
+    def test_amdahl_bound(self, p):
+        """Throughput never exceeds the all-parallel sum nor drops
+        below the one-core rate."""
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+
+        phase = make_phase()
+        config = VCoreConfig(1, 64)
+        vm = uniform_vm(4, config)
+        single = DEFAULT_PERF_MODEL.ipc(phase, config)
+        value = vm_throughput(phase, vm, p)
+        assert single - 1e-9 <= value <= 4 * single + 1e-9
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            vm_throughput(make_phase(), uniform_vm(1, VCoreConfig(1, 64)), 1.5)
+
+
+class TestShapeSearch:
+    def test_enumerate_respects_budget(self):
+        for vm in enumerate_vm_shapes(tile_budget=16):
+            assert vm.total_tiles <= 16
+
+    def test_enumerate_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            enumerate_vm_shapes(0)
+
+    def test_budget_too_small_for_any_config(self):
+        with pytest.raises(ValueError):
+            best_vm_shape(make_phase(), 0.5, tile_budget=1)
+
+    def test_serial_phase_prefers_one_wide_core(self):
+        point = best_vm_shape(make_phase(ilp=5.0), 0.0, tile_budget=24)
+        assert point.vm.num_vcores == 1
+
+    def test_parallel_phase_prefers_many_cores(self):
+        point = best_vm_shape(make_phase(ilp=2.0), 0.99, tile_budget=24)
+        assert point.vm.num_vcores >= 2
+
+    def test_tradeoff_shifts_with_parallel_fraction(self):
+        """The paper's ILP-vs-TLP claim: as the parallel fraction
+        grows, the optimal shape moves from few wide cores to many
+        narrow ones — on the *same* tiles."""
+        phase = make_phase(ilp=4.0)
+        counts = [
+            best_vm_shape(phase, p, tile_budget=24).vm.num_vcores
+            for p in (0.0, 0.5, 0.9, 0.99)
+        ]
+        assert counts[0] == 1
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_efficiency_objective(self):
+        point = best_vm_shape(
+            make_phase(), 0.9, tile_budget=24, objective="efficiency"
+        )
+        throughput_point = best_vm_shape(
+            make_phase(), 0.9, tile_budget=24, objective="throughput"
+        )
+        assert point.efficiency >= throughput_point.efficiency
+
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError):
+            best_vm_shape(make_phase(), 0.5, tile_budget=8, objective="speed")

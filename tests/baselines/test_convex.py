@@ -1,0 +1,109 @@
+"""The convex-optimization feedback baseline (Sections II-B, VI-C)."""
+
+import pytest
+
+from repro.arch.cost import DEFAULT_COST_MODEL
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE, VCoreConfig
+from repro.baselines.convex import ConvexOptimizationAllocator, average_points
+from repro.baselines.oracle import phase_points
+from repro.runtime.cash import QoSMeasurement
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import make_x264
+
+
+class TestAveragePoints:
+    def test_one_point_per_config(self):
+        points = average_points(make_x264(), DEFAULT_PERF_MODEL)
+        assert len(points) == len(DEFAULT_CONFIG_SPACE)
+
+    def test_average_is_harmonic_mean_over_phases(self):
+        """The average hides phase structure: it must sit strictly
+        between the best and worst per-phase IPC."""
+        app = make_x264()
+        points = average_points(app, DEFAULT_PERF_MODEL)
+        for point in points[:8]:
+            per_phase = [
+                DEFAULT_PERF_MODEL.ipc(phase, point.config)
+                for phase in app.phases
+            ]
+            assert min(per_phase) < point.speedup < max(per_phase)
+
+    def test_candidates_restrict_pool(self):
+        points = average_points(
+            make_x264(), DEFAULT_PERF_MODEL,
+            candidates=[VCoreConfig(1, 64), VCoreConfig(8, 8192)],
+        )
+        assert len(points) == 2
+
+
+class TestConvexAllocator:
+    def _allocator(self, goal=0.7):
+        return ConvexOptimizationAllocator(
+            app=make_x264(), qos_goal=goal, model=DEFAULT_PERF_MODEL
+        )
+
+    def test_first_decision_targets_goal_on_average_model(self):
+        allocator = self._allocator()
+        schedule = allocator.decide(None, [])
+        assert schedule.average_speedup == pytest.approx(0.7, rel=0.01)
+
+    def test_feedback_raises_allocation_after_shortfall(self):
+        allocator = self._allocator()
+        before = allocator.decide(None, []).average_cost_rate
+        # Deliver half the goal: the controller must demand more.
+        schedule = allocator.decide(QoSMeasurement(overall_qos=0.35), [])
+        assert schedule.average_speedup > 0.7
+        assert schedule.average_cost_rate > before
+
+    def test_feedback_lowers_allocation_after_overshoot(self):
+        allocator = self._allocator()
+        allocator.decide(None, [])
+        schedule = allocator.decide(QoSMeasurement(overall_qos=2.0), [])
+        assert schedule.average_speedup < 0.7
+
+    def test_model_error_in_nonconvex_phase(self):
+        """The average-case model misjudges individual phases — the
+        core failure the paper demonstrates (Fig. 2)."""
+        app = make_x264()
+        allocator = self._allocator()
+        schedule = allocator.decide(None, [])
+        # Evaluate the schedule under the *true* surface of each phase.
+        deliveries = []
+        for phase in app.phases:
+            q = sum(
+                (0.0 if e.point.is_idle else
+                 DEFAULT_PERF_MODEL.ipc(phase, e.point.config)) * e.fraction
+                for e in schedule.entries
+            )
+            deliveries.append(q)
+        assert min(deliveries) < 0.7 * 0.97  # violates in some phase
+
+    def test_rejects_bad_goal(self):
+        with pytest.raises(ValueError):
+            ConvexOptimizationAllocator(
+                app=make_x264(), qos_goal=0.0, model=DEFAULT_PERF_MODEL
+            )
+
+
+class TestHeterogeneous:
+    def test_paper_core_types(self):
+        from repro.baselines.heterogeneous import (
+            BIG_CONFIG,
+            LITTLE_CONFIG,
+            coarse_grain_configs,
+            coarse_grain_space,
+        )
+
+        # The selection principle: big = smallest configuration that
+        # covers every app's QoS; little = most cost-efficient on
+        # average (the paper's suite yielded 8S/4MB; ours needs 8 MB).
+        assert BIG_CONFIG == VCoreConfig(8, 8192)
+        assert LITTLE_CONFIG == VCoreConfig(1, 128)
+        assert coarse_grain_configs() == [LITTLE_CONFIG, BIG_CONFIG]
+        assert len(coarse_grain_space()) == 4  # the 2x2 grid
+
+    def test_big_and_little_must_differ(self):
+        from repro.baselines.heterogeneous import coarse_grain_space
+
+        with pytest.raises(ValueError):
+            coarse_grain_space(big=VCoreConfig(1, 128), little=VCoreConfig(1, 128))

@@ -1,0 +1,82 @@
+"""The brute-force oracle (Section V-C)."""
+
+import pytest
+
+from repro.arch.cost import DEFAULT_COST_MODEL
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+from repro.baselines.oracle import (
+    OracleAllocator,
+    build_oracle_table,
+    phase_points,
+)
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import make_x264
+
+
+class TestPhasePoints:
+    def test_one_point_per_config(self):
+        phase = make_x264().phases[0]
+        points = phase_points(phase, DEFAULT_PERF_MODEL)
+        assert len(points) == len(DEFAULT_CONFIG_SPACE)
+
+    def test_points_carry_true_ipc_and_cost(self):
+        phase = make_x264().phases[0]
+        for point in phase_points(phase, DEFAULT_PERF_MODEL):
+            assert point.speedup == pytest.approx(
+                DEFAULT_PERF_MODEL.ipc(phase, point.config)
+            )
+            assert point.cost_rate == pytest.approx(
+                point.config.cost_rate(DEFAULT_COST_MODEL)
+            )
+
+
+class TestOracleTable:
+    def test_entry_per_phase(self):
+        app = make_x264()
+        table = build_oracle_table(app, qos_goal=0.7, model=DEFAULT_PERF_MODEL)
+        assert set(table) == {phase.name for phase in app.phases}
+
+    def test_schedules_meet_goal(self):
+        app = make_x264()
+        goal = 0.7
+        table = build_oracle_table(app, qos_goal=goal, model=DEFAULT_PERF_MODEL)
+        for entry in table.values():
+            assert entry.schedule.average_speedup == pytest.approx(goal)
+
+    def test_cost_never_exceeds_cheapest_feasible_config(self):
+        app = make_x264()
+        goal = 0.7
+        table = build_oracle_table(app, qos_goal=goal, model=DEFAULT_PERF_MODEL)
+        for phase in app.phases:
+            feasible = [
+                config.cost_rate(DEFAULT_COST_MODEL)
+                for config in DEFAULT_CONFIG_SPACE
+                if DEFAULT_PERF_MODEL.ipc(phase, config) >= goal
+            ]
+            assert table[phase.name].cost_rate <= min(feasible) + 1e-12
+
+    def test_rejects_bad_goal(self):
+        with pytest.raises(ValueError):
+            build_oracle_table(make_x264(), qos_goal=0, model=DEFAULT_PERF_MODEL)
+
+
+class TestOracleAllocator:
+    def test_decides_the_envelope_schedule(self):
+        phase = make_x264().phases[0]
+        points = phase_points(phase, DEFAULT_PERF_MODEL)
+        allocator = OracleAllocator(qos_goal=0.7)
+        schedule = allocator.decide(None, points)
+        assert schedule.average_speedup == pytest.approx(0.7)
+
+    def test_unreachable_goal_runs_fastest(self):
+        phase = make_x264().phases[0]
+        points = phase_points(phase, DEFAULT_PERF_MODEL)
+        allocator = OracleAllocator(qos_goal=99.0)
+        schedule = allocator.decide(None, points)
+        assert schedule.saturated
+        fastest = max(points, key=lambda p: p.speedup)
+        assert schedule.entries[0].point is fastest
+
+    def test_rejects_bad_goal(self):
+        with pytest.raises(ValueError):
+            OracleAllocator(qos_goal=-1)

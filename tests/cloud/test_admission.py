@@ -1,0 +1,87 @@
+"""Worst-case-footprint admission control."""
+
+import pytest
+
+from repro.arch.fabric import Fabric, TileKind
+from repro.cloud.admission import AdmissionController
+from repro.cloud.tenant import Tenant
+from repro.experiments.harness import qos_target_for
+from repro.workloads.apps import get_app
+
+
+def make_tenant(tenant_id, name="hmmer", policy="cash"):
+    app = get_app(name)
+    return Tenant(
+        tenant_id=tenant_id,
+        app=app,
+        qos_goal=qos_target_for(app),
+        policy=policy,
+    )
+
+
+class TestAdmission:
+    def test_reservation_is_worst_case_config(self):
+        controller = AdmissionController(Fabric())
+        tenant = make_tenant(0)
+        reservation = controller.reservation_for(tenant)
+        # The reservation must meet the tenant's QoS in every phase.
+        from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+
+        for phase in tenant.app.phases:
+            assert DEFAULT_PERF_MODEL.ipc(phase, reservation) >= tenant.qos_goal
+
+    def test_admits_until_capacity(self):
+        controller = AdmissionController(Fabric(width=8, height=8))
+        admitted = 0
+        for tenant_id in range(64):
+            decision = controller.request(make_tenant(tenant_id))
+            if decision.admitted:
+                admitted += 1
+            else:
+                break
+        assert 0 < admitted < 64
+        # The reserved totals never exceed capacity.
+        assert controller.reserved(TileKind.SLICE) <= 32
+        assert controller.reserved(TileKind.L2_BANK) <= 32
+
+    def test_rejection_names_the_bottleneck(self):
+        controller = AdmissionController(Fabric(width=6, height=6))
+        last = None
+        for tenant_id in range(40):
+            last = controller.request(make_tenant(tenant_id, "mcf"))
+            if not last.admitted:
+                break
+        assert last is not None and not last.admitted
+        assert "insufficient" in last.reason
+
+    def test_release_frees_reservation(self):
+        controller = AdmissionController(Fabric(width=8, height=8))
+        decision = controller.request(make_tenant(0))
+        assert decision.admitted
+        before = controller.reserved(TileKind.SLICE)
+        controller.release(0)
+        assert controller.reserved(TileKind.SLICE) < before
+
+    def test_duplicate_admission_rejected(self):
+        controller = AdmissionController(Fabric())
+        controller.request(make_tenant(0))
+        second = controller.request(make_tenant(0))
+        assert not second.admitted
+        assert second.reason == "already admitted"
+
+    def test_overcommit_admits_more(self):
+        strict = AdmissionController(Fabric(width=8, height=8), overcommit=1.0)
+        loose = AdmissionController(Fabric(width=8, height=8), overcommit=2.0)
+
+        def count(controller):
+            admitted = 0
+            for tenant_id in range(64):
+                if controller.request(make_tenant(tenant_id)).admitted:
+                    admitted += 1
+            return admitted
+
+        assert count(loose) > count(strict)
+
+    def test_rejects_bad_overcommit(self):
+        with pytest.raises(ValueError):
+            AdmissionController(Fabric(), overcommit=0.5)

@@ -1,0 +1,55 @@
+"""Tenants and per-tenant accounting."""
+
+import pytest
+
+from repro.arch.vcore import VCoreConfig
+from repro.cloud.tenant import Tenant, TenantAccount
+from repro.workloads.apps import get_app
+
+
+def make_tenant(**overrides):
+    defaults = dict(
+        tenant_id=0, app=get_app("hmmer"), qos_goal=1.0, policy="cash"
+    )
+    defaults.update(overrides)
+    return Tenant(**defaults)
+
+
+class TestTenant:
+    def test_valid(self):
+        tenant = make_tenant()
+        assert tenant.policy == "cash"
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            make_tenant(tenant_id=-1)
+        with pytest.raises(ValueError):
+            make_tenant(qos_goal=0)
+        with pytest.raises(ValueError):
+            make_tenant(policy="greedy")
+        with pytest.raises(ValueError):
+            make_tenant(arrival_interval=-1)
+        with pytest.raises(ValueError):
+            make_tenant(arrival_interval=5, departure_interval=5)
+
+    def test_departure_after_arrival_ok(self):
+        tenant = make_tenant(arrival_interval=3, departure_interval=9)
+        assert tenant.departure_interval == 9
+
+
+class TestTenantAccount:
+    def test_empty_account(self):
+        account = TenantAccount(tenant_id=1)
+        assert account.mean_cost_rate == 0.0
+        assert account.violation_percent == 0.0
+        assert account.mean_footprint_tiles == 0.0
+
+    def test_aggregates(self):
+        account = TenantAccount(tenant_id=1)
+        account.intervals = 10
+        account.violations = 2
+        account.dollars_time = 0.5
+        account.footprints = [VCoreConfig(2, 128), VCoreConfig(4, 256)]
+        assert account.mean_cost_rate == pytest.approx(0.05)
+        assert account.violation_percent == pytest.approx(20.0)
+        assert account.mean_footprint_tiles == pytest.approx((4 + 8) / 2)

@@ -1,0 +1,54 @@
+"""Figure data export."""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import (
+    EXPORTERS,
+    export_fig1,
+    export_fig9,
+    export_fig2_fig8,
+)
+
+
+class TestFig1Export:
+    def test_writes_one_file_per_phase_plus_summary(self, tmp_path):
+        paths = export_fig1(str(tmp_path))
+        assert len(paths) == 11
+        assert all(os.path.exists(path) for path in paths)
+
+    def test_grid_file_has_64_rows(self, tmp_path):
+        paths = export_fig1(str(tmp_path))
+        with open(paths[0]) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == "slices\tl2_kb\tipc"
+        assert len(lines) == 1 + 64
+
+    def test_summary_records_six_nonconvex_phases(self, tmp_path):
+        paths = export_fig1(str(tmp_path))
+        summary = [p for p in paths if p.endswith("fig1_summary.tsv")][0]
+        with open(summary) as handle:
+            lines = handle.read().strip().splitlines()[1:]
+        nonconvex = sum(1 for line in lines if int(line.split("\t")[-1]) > 0)
+        assert nonconvex == 6
+
+
+class TestTimeseriesExports:
+    def test_fig8_columns(self, tmp_path):
+        paths = export_fig2_fig8(str(tmp_path), intervals=30)
+        with open(paths[0]) as handle:
+            header = handle.readline().strip().split("\t")
+        assert header[0] == "cycles"
+        assert any("CASH_cost_rate" in column for column in header)
+
+    def test_fig9_includes_request_rate(self, tmp_path):
+        paths = export_fig9(str(tmp_path), intervals=16)
+        with open(paths[0]) as handle:
+            header = handle.readline().strip().split("\t")
+            first = handle.readline().strip().split("\t")
+        assert header[1] == "request_rate"
+        assert float(first[1]) > 0
+
+    def test_exporters_registry(self):
+        assert set(EXPORTERS) >= {"fig1", "fig7", "fig8", "fig9", "fig10", "tab3"}

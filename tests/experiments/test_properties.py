@@ -1,0 +1,219 @@
+"""Property-based invariants of the closed-loop harness.
+
+These are the conservation laws the whole evaluation rests on: work
+executed equals IPC x time leg by leg, money charged equals rate x
+time, and no allocator can beat the oracle.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cost import DEFAULT_COST_MODEL
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE, VCoreConfig
+from repro.baselines.oracle import OracleAllocator
+from repro.experiments.harness import ThroughputSimulator, qos_target_for
+from repro.runtime.optimizer import (
+    ConfigPoint,
+    IDLE_POINT,
+    Schedule,
+    ScheduleEntry,
+)
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import get_app, make_x264
+
+
+class _FixedAllocator:
+    """Always returns the same schedule (for conservation checks)."""
+
+    name = "Fixed"
+
+    def __init__(self, schedule):
+        self.schedule = schedule
+
+    def decide(self, measurement, true_points):
+        return self.schedule
+
+
+def single_config_schedule(config):
+    point = ConfigPoint(
+        config=config,
+        speedup=1.0,
+        cost_rate=config.cost_rate(DEFAULT_COST_MODEL),
+    )
+    return Schedule(entries=(ScheduleEntry(point, 1.0),))
+
+
+CONFIG_STRATEGY = st.builds(
+    VCoreConfig,
+    slices=st.integers(1, 8),
+    l2_kb=st.sampled_from([64 * 2 ** i for i in range(8)]),
+)
+
+
+class TestConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(config=CONFIG_STRATEGY)
+    def test_money_equals_rate_times_time(self, config):
+        """With a fixed single-config schedule, the mean cost rate is
+        exactly the configuration's rate."""
+        app = get_app("hmmer")
+        sim = ThroughputSimulator(
+            app=app,
+            qos_goal=0.5,
+            noise_std_frac=0.0,
+            interval_cycles=2.0e5,
+        )
+        result = sim.run(_FixedAllocator(single_config_schedule(config)), 30)
+        expected = config.cost_rate(DEFAULT_COST_MODEL)
+        assert result.mean_cost_rate == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=CONFIG_STRATEGY)
+    def test_work_equals_ipc_times_time(self, config):
+        """Delivered QoS on a fixed config equals the model's IPC for
+        the phase being executed (steady state, no reconfigurations)."""
+        app = get_app("hmmer")
+        sim = ThroughputSimulator(
+            app=app,
+            qos_goal=0.5,
+            noise_std_frac=0.0,
+            interval_cycles=2.0e5,
+        )
+        result = sim.run(_FixedAllocator(single_config_schedule(config)), 20)
+        # Skip the first interval (it may carry a reconfiguration stall).
+        for record in result.records[1:]:
+            phase = next(p for p in app.phases if p.name == record.phase_name)
+            expected = DEFAULT_PERF_MODEL.ipc(phase, config)
+            assert record.true_qos == pytest.approx(expected, rel=1e-3)
+
+    def test_idle_executes_nothing_and_costs_nothing(self):
+        app = get_app("hmmer")
+        sim = ThroughputSimulator(
+            app=app, qos_goal=0.5, noise_std_frac=0.0
+        )
+        schedule = Schedule(entries=(ScheduleEntry(IDLE_POINT, 1.0),))
+        result = sim.run(_FixedAllocator(schedule), 10)
+        assert result.mean_cost_rate == 0.0
+        assert all(record.true_qos == 0.0 for record in result.records)
+
+
+class TestOracleDominance:
+    @settings(max_examples=6, deadline=None)
+    @given(margin=st.floats(min_value=0.5, max_value=0.95))
+    def test_no_single_config_beats_the_oracle(self, margin):
+        """For any QoS level, the oracle's cost is at most the cost of
+        the cheapest fixed configuration that meets it."""
+        app = make_x264()
+        goal = qos_target_for(app, margin=margin)
+        sim = ThroughputSimulator(app=app, qos_goal=goal, noise_std_frac=0.0)
+        oracle_run = sim.run(OracleAllocator(qos_goal=goal), 120)
+        feasible = [
+            config
+            for config in DEFAULT_CONFIG_SPACE
+            if all(
+                DEFAULT_PERF_MODEL.ipc(phase, config) >= goal
+                for phase in app.phases
+            )
+        ]
+        if not feasible:
+            return
+        cheapest = min(c.cost_rate(DEFAULT_COST_MODEL) for c in feasible)
+        assert oracle_run.mean_cost_rate <= cheapest * 1.001
+
+
+class TestDisturbanceRobustness:
+    def test_runtime_survives_measurement_spikes(self):
+        """δq disturbances (page faults, Eqn. 3): occasional wild
+        measurements must not destabilize the runtime."""
+        import random
+
+        from repro.arch.cost import DEFAULT_COST_MODEL
+        from repro.runtime.cash import (
+            CASHRuntime,
+            LegObservation,
+            QoSMeasurement,
+        )
+
+        configs = [
+            VCoreConfig(1, 64),
+            VCoreConfig(2, 128),
+            VCoreConfig(4, 256),
+            VCoreConfig(8, 512),
+        ]
+        true_qos = {
+            configs[0]: 0.6, configs[1]: 1.1,
+            configs[2]: 1.9, configs[3]: 2.6,
+        }
+        runtime = CASHRuntime(
+            configs=configs,
+            cost_rates=[c.cost_rate(DEFAULT_COST_MODEL) for c in configs],
+            qos_goal=1.5,
+            base_config=configs[0],
+            initial_base_qos=0.5,
+            explore=False,
+        )
+        rng = random.Random(3)
+        measurement = None
+        deliveries = []
+        for step in range(120):
+            decision = runtime.step(measurement)
+            total = 0.0
+            legs = []
+            for entry in decision.schedule.entries:
+                q = 0.0 if entry.point.is_idle else true_qos[entry.point.config]
+                total += q * entry.fraction
+                legs.append(
+                    LegObservation(entry.point.config, entry.fraction, q)
+                )
+            observed = total
+            if rng.random() < 0.05:  # a page-fault-like outlier
+                observed = total * rng.choice([0.1, 3.0])
+            measurement = QoSMeasurement(
+                overall_qos=observed,
+                legs=tuple(legs),
+                signature=(0.3, 0.1, 0.03),
+            )
+            deliveries.append(total)
+        tail = deliveries[-40:]
+        violations = sum(q < 1.5 * 0.95 for q in tail)
+        assert violations <= 6
+
+
+class TestPriceInvariance:
+    def test_conclusions_survive_price_rescaling(self):
+        """Section VI-B: 'the absolute value of the price does not
+        affect our conclusions' — scaling all prices scales every cost
+        but leaves every ratio unchanged."""
+        from repro.arch.cost import CostModel
+        from repro.baselines.race import RaceToIdleAllocator, worst_case_config
+
+        app = get_app("bzip")
+        goal = qos_target_for(app)
+        doubled = CostModel(
+            slice_price_per_hour=2 * 0.0098,
+            l2_price_per_64kb_hour=2 * 0.0032,
+        )
+        ratios = []
+        for cost_model in (None, doubled):
+            kwargs = {"cost_model": cost_model} if cost_model else {}
+            sim = ThroughputSimulator(
+                app=app, qos_goal=goal, noise_std_frac=0.0, **kwargs
+            )
+            oracle_run = sim.run(OracleAllocator(qos_goal=goal), 150)
+            sim2 = ThroughputSimulator(
+                app=app, qos_goal=goal, noise_std_frac=0.0, **kwargs
+            )
+            config = worst_case_config(
+                app, goal, DEFAULT_PERF_MODEL,
+                cost_model=cost_model or DEFAULT_COST_MODEL,
+            )
+            race_run = sim2.run(
+                RaceToIdleAllocator(
+                    config=config,
+                    qos_goal=goal,
+                    cost_model=cost_model or DEFAULT_COST_MODEL,
+                ),
+                150,
+            )
+            ratios.append(race_run.mean_cost_rate / oracle_run.mean_cost_rate)
+        assert ratios[0] == pytest.approx(ratios[1], rel=1e-9)

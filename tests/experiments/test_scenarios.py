@@ -1,0 +1,129 @@
+"""Canonical experiment scenarios and reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import RunResult
+from repro.experiments.report import (
+    cost_table,
+    geomean_costs,
+    mean_violations,
+    per_app_table,
+    timeseries_table,
+)
+from repro.experiments.scenarios import (
+    ALLOCATOR_KINDS,
+    ARCHITECTURE_KINDS,
+    apache_timeseries,
+    compare_allocators,
+    compare_architectures,
+    geometric_mean,
+    run_app_with_allocator,
+    x264_timeseries,
+)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestRunAppWithAllocator:
+    def test_throughput_app_runs(self):
+        result = run_app_with_allocator("x264", "optimal", intervals=80)
+        assert isinstance(result, RunResult)
+        assert result.app_name == "x264"
+        assert result.num_intervals == 80
+
+    def test_latency_app_runs(self):
+        result = run_app_with_allocator("apache", "race", intervals=60)
+        assert result.app_name == "apache"
+        assert result.violation_rate == 0.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            run_app_with_allocator("x264", "psychic", intervals=10)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            run_app_with_allocator("doom", "optimal", intervals=10)
+
+    def test_all_four_kinds_run_on_one_app(self):
+        for kind, _label in ALLOCATOR_KINDS:
+            result = run_app_with_allocator("hmmer", kind, intervals=60)
+            assert result.cost_dollars > 0
+
+
+class TestComparisons:
+    def test_compare_allocators_structure(self):
+        results = compare_allocators(app_names=["hmmer"], intervals=60)
+        assert set(results) == {label for _, label in ALLOCATOR_KINDS}
+        assert set(results["Optimal"]) == {"hmmer"}
+
+    def test_optimal_is_cheapest(self):
+        results = compare_allocators(app_names=["bzip"], intervals=200)
+        optimal = results["Optimal"]["bzip"].cost_dollars
+        for label in ("Race to Idle", "CASH"):
+            assert results[label]["bzip"].cost_dollars >= optimal * 0.999
+
+    def test_compare_architectures_structure(self):
+        results = compare_architectures(app_names=["hmmer"], intervals=60)
+        assert set(results) == {label for _, _, label in ARCHITECTURE_KINDS}
+
+    def test_coarse_race_is_most_expensive(self):
+        """Fig. 10's headline: fine-grain + adaptive beats coarse+race."""
+        results = compare_architectures(app_names=["bzip"], intervals=200)
+        coarse = results["CoarseGrain race"]["bzip"].cost_dollars
+        cash = results["CASH"]["bzip"].cost_dollars
+        assert cash < coarse
+
+
+class TestTimeseries:
+    def test_x264_timeseries(self):
+        results = x264_timeseries(intervals=40)
+        assert set(results) == {"Convex Optimization", "Race to Idle", "CASH"}
+        for run in results.values():
+            assert run.num_intervals == 40
+
+    def test_apache_timeseries(self):
+        results = apache_timeseries(intervals=40)
+        for run in results.values():
+            assert run.records[0].request_rate > 0
+
+
+class TestReportFormatting:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_allocators(app_names=["hmmer"], intervals=50)
+
+    def test_cost_table(self, results):
+        table = cost_table(results)
+        assert "Optimal" in table and "CASH" in table
+        assert "Ratio" in table
+
+    def test_per_app_table(self, results):
+        table = per_app_table(results)
+        assert "hmmer" in table
+        assert "geomean" in table
+
+    def test_geomean_and_violations(self, results):
+        geo = geomean_costs(results)
+        violations = mean_violations(results)
+        assert set(geo) == set(results)
+        assert all(v >= 0 for v in violations.values())
+
+    def test_timeseries_table(self):
+        results = x264_timeseries(intervals=30)
+        table = timeseries_table(results, stride=10)
+        assert "Mcycles" in table
+        assert len(table.splitlines()) >= 3

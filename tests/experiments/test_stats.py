@@ -1,0 +1,47 @@
+"""Multi-seed statistics."""
+
+import pytest
+
+from repro.experiments.stats import Summary, run_across_seeds
+
+
+class TestSummary:
+    def test_mean_and_std(self):
+        summary = Summary(values=(1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.min == 1.0 and summary.max == 3.0
+
+    def test_single_value_has_zero_std(self):
+        assert Summary(values=(5.0,)).std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Summary(values=())
+
+    def test_str(self):
+        assert "±" in str(Summary(values=(1.0, 2.0)))
+
+
+class TestRunAcrossSeeds:
+    def test_collects_all_seeds(self):
+        result = run_across_seeds("hmmer", "optimal", seeds=(0, 1), intervals=40)
+        assert result.seeds == (0, 1)
+        assert len(result.cost.values) == 2
+
+    def test_oracle_is_seed_stable(self):
+        """The oracle's decisions don't depend on measurement noise, so
+        costs across seeds differ only through noise in execution —
+        which the oracle's true-point planning ignores entirely."""
+        result = run_across_seeds(
+            "hmmer", "optimal", seeds=(0, 1, 2), intervals=60
+        )
+        assert result.cost.std / result.cost.mean < 0.02
+
+    def test_cash_seed_spread_is_bounded(self):
+        result = run_across_seeds("bzip", "cash", seeds=(0, 1), intervals=300)
+        assert result.cost.std / result.cost.mean < 0.30
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            run_across_seeds("hmmer", "optimal", seeds=())

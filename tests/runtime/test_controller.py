@@ -1,0 +1,153 @@
+"""The deadbeat QoS controller (Eqns. 1-2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.controller import DeadbeatController
+
+
+class TestConstruction:
+    def test_initial_speedup_targets_goal(self):
+        controller = DeadbeatController(qos_goal=2.0, base_qos=0.5)
+        assert controller.speedup == pytest.approx(4.0)
+
+    def test_explicit_initial_speedup(self):
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=1.0, initial_speedup=3.0
+        )
+        assert controller.speedup == 3.0
+
+    def test_initial_speedup_clamped(self):
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=1.0, initial_speedup=100.0, max_speedup=8.0
+        )
+        assert controller.speedup == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadbeatController(qos_goal=0, base_qos=1)
+        with pytest.raises(ValueError):
+            DeadbeatController(qos_goal=1, base_qos=0)
+        with pytest.raises(ValueError):
+            DeadbeatController(qos_goal=1, base_qos=1, min_speedup=-1)
+        with pytest.raises(ValueError):
+            DeadbeatController(
+                qos_goal=1, base_qos=1, min_speedup=5, max_speedup=5
+            )
+        with pytest.raises(ValueError):
+            DeadbeatController(qos_goal=1, base_qos=1, gain=0)
+        with pytest.raises(ValueError):
+            DeadbeatController(qos_goal=1, base_qos=1, gain=1.5)
+
+
+class TestControlLaw:
+    def test_error_is_goal_minus_measured(self):
+        controller = DeadbeatController(qos_goal=1.0, base_qos=0.5)
+        assert controller.error(0.8) == pytest.approx(0.2)
+
+    def test_eqn2_update(self):
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=0.5, initial_speedup=2.0
+        )
+        # s(t) = s(t-1) + e(t)/b = 2 + (1 - 0.8)/0.5 = 2.4
+        assert controller.update(0.8) == pytest.approx(2.4)
+        assert controller.last_error == pytest.approx(0.2)
+
+    def test_kalman_estimate_substitutes_for_b(self):
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=0.5, initial_speedup=2.0
+        )
+        assert controller.update(0.8, base_estimate=0.4) == pytest.approx(2.5)
+
+    def test_deadbeat_converges_in_one_step(self):
+        """With a perfect model (q = s*b), the error vanishes after one
+        update — the definition of deadbeat control."""
+        b = 0.4
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=b, initial_speedup=1.0
+        )
+        q = controller.speedup * b  # delivered QoS
+        controller.update(q)
+        q = controller.speedup * b
+        assert q == pytest.approx(1.0)
+
+    def test_damped_gain_converges_geometrically(self):
+        b = 0.5
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=b, initial_speedup=0.0, gain=0.5
+        )
+        errors = []
+        for _ in range(20):
+            q = controller.speedup * b
+            errors.append(abs(1.0 - q))
+            controller.update(q)
+        assert errors[-1] < 1e-4
+        assert errors[0] > errors[5] > errors[10]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        b=st.floats(min_value=0.05, max_value=5.0),
+        goal=st.floats(min_value=0.1, max_value=10.0),
+        gain=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_steady_state_error_vanishes(self, b, goal, gain):
+        """Property: under a constant-base plant the integral action
+        drives the error to zero for any stable gain."""
+        controller = DeadbeatController(
+            qos_goal=goal, base_qos=b, initial_speedup=0.0,
+            max_speedup=1e6, gain=gain,
+        )
+        for _ in range(200):
+            controller.update(controller.speedup * b)
+        assert controller.speedup * b == pytest.approx(goal, rel=1e-3)
+
+    def test_anti_windup_clamps_demand(self):
+        controller = DeadbeatController(qos_goal=10.0, base_qos=0.1)
+        for _ in range(50):
+            controller.update(0.5, max_useful_speedup=4.0)
+        assert controller.speedup == 4.0
+
+    def test_recovery_after_anti_windup(self):
+        """Once the demand becomes satisfiable, the clamped integrator
+        reacts immediately instead of unwinding a huge backlog."""
+        controller = DeadbeatController(
+            qos_goal=1.0, base_qos=0.5, initial_speedup=2.0
+        )
+        for _ in range(50):
+            controller.update(0.2, max_useful_speedup=3.0)
+        assert controller.speedup == 3.0
+        # Deliver above goal: demand must drop within a couple steps.
+        controller.update(1.5)
+        controller.update(1.5)
+        assert controller.speedup < 2.0
+
+    def test_rejects_bad_inputs(self):
+        controller = DeadbeatController(qos_goal=1.0, base_qos=1.0)
+        with pytest.raises(ValueError):
+            controller.update(-0.1)
+        with pytest.raises(ValueError):
+            controller.update(1.0, base_estimate=0.0)
+        with pytest.raises(ValueError):
+            controller.update(1.0, max_useful_speedup=0.0)
+
+
+class TestRetargetAndReset:
+    def test_retarget(self):
+        controller = DeadbeatController(qos_goal=1.0, base_qos=1.0)
+        controller.retarget(2.0)
+        assert controller.qos_goal == 2.0
+        with pytest.raises(ValueError):
+            controller.retarget(0.0)
+
+    def test_reset_defaults_to_goal(self):
+        controller = DeadbeatController(
+            qos_goal=2.0, base_qos=0.5, initial_speedup=9.0
+        )
+        controller.reset()
+        assert controller.speedup == pytest.approx(4.0)
+        assert controller.last_error == 0.0
+
+    def test_reset_explicit(self):
+        controller = DeadbeatController(qos_goal=1.0, base_qos=1.0)
+        controller.reset(5.0)
+        assert controller.speedup == 5.0

@@ -1,0 +1,140 @@
+"""The correlation-aware learner (the paper's future-work extension)."""
+
+import pytest
+
+from repro.arch.vcore import VCoreConfig
+from repro.runtime.correlated import GridSmoothingLearner, grid_distance
+
+CONFIGS = [
+    VCoreConfig(1, 64),
+    VCoreConfig(2, 64),
+    VCoreConfig(2, 128),
+    VCoreConfig(4, 256),
+    VCoreConfig(8, 8192),
+]
+BASE = CONFIGS[0]
+
+
+def make_learner(**overrides):
+    defaults = dict(
+        configs=CONFIGS, base_config=BASE, base_qos=1.0, propagation=0.5
+    )
+    defaults.update(overrides)
+    return GridSmoothingLearner(**defaults)
+
+
+class TestGridDistance:
+    def test_slice_steps(self):
+        assert grid_distance(VCoreConfig(1, 64), VCoreConfig(3, 64)) == 2
+
+    def test_cache_steps_are_logarithmic(self):
+        assert grid_distance(VCoreConfig(1, 64), VCoreConfig(1, 256)) == 2
+
+    def test_combined(self):
+        assert grid_distance(VCoreConfig(1, 64), VCoreConfig(2, 128)) == 2
+
+    def test_symmetric(self):
+        a, b = VCoreConfig(3, 512), VCoreConfig(7, 64)
+        assert grid_distance(a, b) == grid_distance(b, a)
+
+
+class TestPropagation:
+    def test_observation_informs_neighbours(self):
+        learner = make_learner()
+        before = learner.qos_estimate(CONFIGS[1])
+        learner.observe(CONFIGS[0], 3.0)  # much faster than the prior
+        after = learner.qos_estimate(CONFIGS[1])
+        assert after > before
+
+    def test_direct_observation_unchanged_by_propagation(self):
+        """Eqn. 7 semantics for the observed config are preserved."""
+        learner = make_learner()
+        learner.observe(CONFIGS[1], 2.5)
+        assert learner.qos_estimate(CONFIGS[1]) == 2.5
+
+    def test_propagation_respects_prior_shape(self):
+        """A neighbour with more resources is nudged toward a *larger*
+        predicted value than one with fewer."""
+        learner = make_learner()
+        learner.observe(CONFIGS[2], 2.0)  # 2S/128KB
+        small = learner.qos_estimate(CONFIGS[1])   # 2S/64KB
+        large = learner.qos_estimate(CONFIGS[3])   # 4S/256KB
+        assert large > small
+
+    def test_distance_attenuates(self):
+        learner = make_learner(radius=100.0)
+        baseline = {c: learner.qos_estimate(c) for c in CONFIGS}
+        learner.observe(CONFIGS[0], 10.0)
+        near_shift = abs(
+            learner.qos_estimate(CONFIGS[1]) - baseline[CONFIGS[1]]
+        ) / baseline[CONFIGS[1]]
+        far_shift = abs(
+            learner.qos_estimate(CONFIGS[4]) - baseline[CONFIGS[4]]
+        ) / baseline[CONFIGS[4]]
+        assert near_shift > far_shift
+
+    def test_radius_cuts_off(self):
+        learner = make_learner(radius=1.0)
+        before = learner.qos_estimate(CONFIGS[4])
+        learner.observe(CONFIGS[0], 10.0)
+        assert learner.qos_estimate(CONFIGS[4]) == before
+
+    def test_well_observed_neighbours_resist_propagation(self):
+        learner = make_learner()
+        for _ in range(30):
+            learner.observe(CONFIGS[1], 1.0)
+        learner.observe(CONFIGS[0], 10.0)
+        # CONFIGS[1] has 30 direct observations; one propagated guess
+        # must barely move it.
+        assert learner.qos_estimate(CONFIGS[1]) < 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_learner(propagation=1.5)
+        with pytest.raises(ValueError):
+            make_learner(radius=0.0)
+
+    def test_inherits_phase_bank(self):
+        learner = make_learner()
+        learner.observe(CONFIGS[1], 5.0)
+        learner.on_phase_change(
+            1.0, 2.0, signature=(0.3, 0.1, 0.03), anchor_qos=1.0
+        )
+        assert learner.known_phases == 2
+        # Propagation keeps working on the fresh table.
+        before = learner.qos_estimate(CONFIGS[1])
+        learner.observe(CONFIGS[0], 50.0)
+        assert learner.qos_estimate(CONFIGS[1]) > before
+
+
+class TestColdStartBenefit:
+    def test_few_observations_sketch_the_surface(self):
+        """After observing only two configurations, the estimates of
+        the rest should correlate with a plausible response surface
+        better than the untouched prior."""
+        true = {
+            CONFIGS[0]: 0.5,
+            CONFIGS[1]: 0.9,
+            CONFIGS[2]: 1.0,
+            CONFIGS[3]: 1.7,
+            CONFIGS[4]: 2.8,
+        }
+        smoothing = make_learner()
+        smoothing.observe(CONFIGS[0], true[CONFIGS[0]])
+        smoothing.observe(CONFIGS[3], true[CONFIGS[3]])
+
+        from repro.runtime.qlearning import SpeedupLearner
+
+        independent = SpeedupLearner(
+            configs=CONFIGS, base_config=BASE, base_qos=1.0
+        )
+        independent.observe(CONFIGS[0], true[CONFIGS[0]])
+        independent.observe(CONFIGS[3], true[CONFIGS[3]])
+
+        def error(learner):
+            return sum(
+                abs(learner.qos_estimate(c) - true[c]) / true[c]
+                for c in (CONFIGS[1], CONFIGS[2], CONFIGS[4])
+            )
+
+        assert error(smoothing) < error(independent)

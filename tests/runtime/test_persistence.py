@@ -1,0 +1,154 @@
+"""Snapshot/restore of the runtime's learned state."""
+
+import pytest
+
+from repro.arch.cost import DEFAULT_COST_MODEL
+from repro.arch.vcore import VCoreConfig
+from repro.runtime.cash import CASHRuntime, LegObservation, QoSMeasurement
+from repro.runtime.persistence import (
+    SnapshotError,
+    load_snapshot,
+    restore_runtime,
+    save_snapshot,
+    snapshot_runtime,
+)
+
+CONFIGS = [
+    VCoreConfig(1, 64),
+    VCoreConfig(2, 128),
+    VCoreConfig(4, 256),
+    VCoreConfig(8, 512),
+]
+TRUE_QOS = {
+    CONFIGS[0]: 0.6,
+    CONFIGS[1]: 1.1,
+    CONFIGS[2]: 1.9,
+    CONFIGS[3]: 2.6,
+}
+
+
+def make_runtime(**kwargs):
+    return CASHRuntime(
+        configs=CONFIGS,
+        cost_rates=[c.cost_rate(DEFAULT_COST_MODEL) for c in CONFIGS],
+        qos_goal=1.5,
+        base_config=CONFIGS[0],
+        initial_base_qos=0.5,
+        explore=False,
+        **kwargs,
+    )
+
+
+def drive(runtime, steps, scale=1.0, signature=(0.3, 0.1, 0.03)):
+    measurement = None
+    deliveries = []
+    for _ in range(steps):
+        decision = runtime.step(measurement)
+        total = 0.0
+        legs = []
+        for entry in decision.schedule.entries:
+            q = (
+                0.0
+                if entry.point.is_idle
+                else TRUE_QOS[entry.point.config] * scale
+            )
+            total += q * entry.fraction
+            legs.append(LegObservation(entry.point.config, entry.fraction, q))
+        measurement = QoSMeasurement(
+            overall_qos=total, legs=tuple(legs), signature=signature
+        )
+        deliveries.append(total)
+    return deliveries
+
+
+class TestRoundTrip:
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        runtime = make_runtime()
+        drive(runtime, 20)
+        payload = json.dumps(snapshot_runtime(runtime))
+        assert "version" in payload
+
+    def test_restore_reproduces_estimates(self):
+        source = make_runtime()
+        drive(source, 30)
+        snapshot = snapshot_runtime(source)
+
+        target = make_runtime()
+        restore_runtime(target, snapshot)
+        for config in CONFIGS:
+            assert target.learner.qos_estimate(config) == pytest.approx(
+                source.learner.qos_estimate(config)
+            )
+        assert target.estimator.estimate == pytest.approx(
+            source.estimator.estimate
+        )
+
+    def test_restored_runtime_skips_relearning(self):
+        """A fresh runtime violates during cold start; a restored one
+        picks up where the donor converged."""
+        donor = make_runtime()
+        drive(donor, 40)
+        snapshot = snapshot_runtime(donor)
+
+        cold = make_runtime()
+        cold_deliveries = drive(cold, 6)
+        warm = make_runtime()
+        restore_runtime(warm, snapshot)
+        warm_deliveries = drive(warm, 6)
+
+        goal = 1.5
+        cold_misses = sum(q < goal * 0.97 for q in cold_deliveries)
+        warm_misses = sum(q < goal * 0.97 for q in warm_deliveries)
+        assert warm_misses <= cold_misses
+
+    def test_phase_bank_survives(self):
+        donor = make_runtime()
+        drive(donor, 25)
+        drive(donor, 25, scale=0.5, signature=(0.2, 0.05, 0.08))
+        assert donor.learner.known_phases >= 2
+        snapshot = snapshot_runtime(donor)
+        target = make_runtime()
+        restore_runtime(target, snapshot)
+        assert target.learner.known_phases == donor.learner.known_phases
+
+    def test_file_round_trip(self, tmp_path):
+        runtime = make_runtime()
+        drive(runtime, 15)
+        path = tmp_path / "runtime.json"
+        save_snapshot(runtime, str(path))
+        target = make_runtime()
+        load_snapshot(target, str(path))
+        assert target.learner.qos_estimate(CONFIGS[2]) == pytest.approx(
+            runtime.learner.qos_estimate(CONFIGS[2])
+        )
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self):
+        runtime = make_runtime()
+        snapshot = snapshot_runtime(runtime)
+        snapshot["version"] = 99
+        with pytest.raises(SnapshotError):
+            restore_runtime(make_runtime(), snapshot)
+
+    def test_rejects_mismatched_menu(self):
+        runtime = make_runtime()
+        snapshot = snapshot_runtime(runtime)
+        other = CASHRuntime(
+            configs=CONFIGS[:2],
+            cost_rates=[c.cost_rate(DEFAULT_COST_MODEL) for c in CONFIGS[:2]],
+            qos_goal=1.5,
+            base_config=CONFIGS[0],
+            initial_base_qos=0.5,
+        )
+        with pytest.raises(SnapshotError):
+            restore_runtime(other, snapshot)
+
+    def test_rejects_bad_phase_index(self):
+        runtime = make_runtime()
+        snapshot = snapshot_runtime(runtime)
+        snapshot["learner"]["current_phase"] = 42
+        with pytest.raises(SnapshotError):
+            restore_runtime(make_runtime(), snapshot)

@@ -1,0 +1,143 @@
+"""Dynamic branch prediction (Fig. 4's Br_pred & BTB)."""
+
+import random
+
+import pytest
+
+from repro.arch.vcore import VCoreConfig
+from repro.sim.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    FrontEndPredictor,
+)
+from repro.sim.pipeline import MultiSlicePipeline
+from repro.sim.trace import TraceGenerator
+from repro.workloads.phase import Phase
+
+
+class TestBimodal:
+    def test_learns_a_biased_branch(self):
+        predictor = BimodalPredictor()
+        for _ in range(50):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000) is True
+        # Only the cold-start transient could have missed.
+        assert predictor.mispredictions <= 2
+
+    def test_learns_not_taken_too(self):
+        predictor = BimodalPredictor()
+        for _ in range(50):
+            predictor.update(0x2000, False)
+        assert predictor.predict(0x2000) is False
+
+    def test_hysteresis_tolerates_single_flip(self):
+        """2-bit counters: one anomalous outcome doesn't flip a strongly
+        trained prediction."""
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x40, True)
+        predictor.update(0x40, False)  # single not-taken
+        assert predictor.predict(0x40) is True
+
+    def test_random_branch_stays_hard(self):
+        predictor = BimodalPredictor()
+        rng = random.Random(0)
+        for _ in range(2000):
+            predictor.update(0x80, rng.random() < 0.5)
+        assert predictor.mispredict_rate > 0.35
+
+    def test_distinct_addresses_use_distinct_counters(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x40, True)
+            predictor.update(0x80, False)
+        assert predictor.predict(0x40) is True
+        assert predictor.predict(0x80) is False
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=1000)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x40) is None
+        btb.install(0x40, 0x4000)
+        assert btb.lookup(0x40) == 0x4000
+
+    def test_conflicting_entries_evict(self):
+        btb = BranchTargetBuffer(entries=4)
+        btb.install(0x40, 1)
+        conflicting = 0x40 + 4 * 64  # same index, different tag
+        btb.install(conflicting, 2)
+        assert btb.lookup(0x40) is None
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=3)
+
+
+class TestFrontEnd:
+    def test_stable_taken_branch_trains_clean(self):
+        front = FrontEndPredictor()
+        redirects = [front.resolve(0x40, True, 0x4000) for _ in range(30)]
+        assert sum(redirects[5:]) == 0
+
+    def test_not_taken_branch_ignores_btb(self):
+        front = FrontEndPredictor()
+        for _ in range(10):
+            front.resolve(0x40, False, 0)
+        assert front.btb.lookups == 0
+
+    def test_changing_target_redirects(self):
+        front = FrontEndPredictor()
+        for _ in range(10):
+            front.resolve(0x40, True, 0x4000)
+        assert front.resolve(0x40, True, 0x8000) is True  # new target
+
+
+class TestPipelineIntegration:
+    def _phase(self, mispredict_rate):
+        return Phase(
+            name="b",
+            instructions_m=1,
+            ilp=3.0,
+            mem_refs_per_inst=0.2,
+            l1_miss_rate=0.05,
+            working_set=((128, 0.9),),
+            branch_fraction=0.2,
+            mispredict_rate=mispredict_rate,
+        )
+
+    def test_emergent_rate_tracks_phase_specification(self):
+        phase = self._phase(0.06)
+        trace = TraceGenerator(phase, seed=0).generate(8000)
+        pipeline = MultiSlicePipeline(
+            VCoreConfig(2, 128), dynamic_branches=True
+        )
+        pipeline.run(trace)
+        emergent = pipeline.front_end.direction.mispredict_rate
+        assert emergent == pytest.approx(0.06, abs=0.03)
+
+    def test_well_predicted_phase_runs_faster(self):
+        easy = self._phase(0.01)
+        hard = self._phase(0.25)
+        easy_trace = TraceGenerator(easy, seed=0).generate(5000)
+        hard_trace = TraceGenerator(hard, seed=0).generate(5000)
+        config = VCoreConfig(2, 128)
+        easy_ipc = MultiSlicePipeline(config, dynamic_branches=True).run(
+            easy_trace
+        ).ipc
+        hard_ipc = MultiSlicePipeline(config, dynamic_branches=True).run(
+            hard_trace
+        ).ipc
+        assert easy_ipc > hard_ipc
+
+    def test_default_mode_uses_scripted_mispredicts(self):
+        phase = self._phase(0.1)
+        trace = TraceGenerator(phase, seed=0).generate(2000)
+        pipeline = MultiSlicePipeline(VCoreConfig(1, 64))
+        result = pipeline.run(trace)
+        assert pipeline.front_end is None
+        assert result.mispredicts == sum(op.mispredicted for op in trace)

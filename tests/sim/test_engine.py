@@ -1,0 +1,88 @@
+"""The cycle/event simulation core."""
+
+import pytest
+
+from repro.sim.engine import SimulationClock
+
+
+class _Recorder:
+    def __init__(self):
+        self.ticks = []
+
+    def tick(self, cycle):
+        self.ticks.append(cycle)
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0
+
+    def test_step_advances(self):
+        clock = SimulationClock()
+        assert clock.step(5) == 5
+        assert clock.now == 5
+
+    def test_step_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SimulationClock().step(0)
+
+    def test_components_tick_every_cycle(self):
+        clock = SimulationClock()
+        recorder = _Recorder()
+        clock.register(recorder)
+        clock.step(3)
+        assert recorder.ticks == [1, 2, 3]
+
+    def test_events_fire_at_deadline(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(4, fired.append)
+        clock.step(3)
+        assert fired == []
+        clock.step(1)
+        assert fired == [4]
+
+    def test_events_fire_in_order(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(2, lambda c: fired.append("b"))
+        clock.schedule(1, lambda c: fired.append("a"))
+        clock.step(5)
+        assert fired == ["a", "b"]
+
+    def test_same_deadline_fifo(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(1, lambda c: fired.append("first"))
+        clock.schedule(1, lambda c: fired.append("second"))
+        clock.step(1)
+        assert fired == ["first", "second"]
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SimulationClock().schedule(-1, lambda c: None)
+
+    def test_events_can_schedule_events(self):
+        clock = SimulationClock()
+        fired = []
+
+        def chain(cycle):
+            fired.append(cycle)
+            if len(fired) < 3:
+                clock.schedule(2, chain)
+
+        clock.schedule(1, chain)
+        clock.step(10)
+        assert fired == [1, 3, 5]
+
+    def test_run_until(self):
+        clock = SimulationClock()
+        done = []
+        clock.schedule(7, done.append)
+        cycle = clock.run_until(lambda: bool(done))
+        assert cycle == 7
+
+    def test_run_until_limit(self):
+        clock = SimulationClock()
+        with pytest.raises(RuntimeError):
+            clock.run_until(lambda: False, limit=10)

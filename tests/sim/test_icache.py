@@ -1,0 +1,96 @@
+"""Instruction-side modelling: L1I, code footprints, steady state."""
+
+import pytest
+
+from repro.arch.vcore import VCoreConfig
+from repro.sim.memsys import MemorySystem
+from repro.sim.pipeline import MultiSlicePipeline
+from repro.sim.trace import TraceGenerator
+from repro.workloads.phase import Phase
+
+
+def make_phase(code_kb, **overrides):
+    defaults = dict(
+        name="p",
+        instructions_m=1,
+        ilp=3.0,
+        mem_refs_per_inst=0.2,
+        l1_miss_rate=0.05,
+        working_set=((128, 0.9),),
+        code_footprint_kb=code_kb,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+class TestMemorySystemFetch:
+    def test_fetch_miss_then_hit(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        first = mem.fetch(0, 2 << 40)
+        second = mem.fetch(0, 2 << 40)
+        assert first.level in ("l2", "memory")
+        assert second.level == "l1"
+        assert mem.stats()["l1i_misses"] == 1
+        assert mem.stats()["l1i_hits"] == 1
+
+    def test_icaches_are_per_slice(self):
+        mem = MemorySystem(VCoreConfig(2, 128))
+        mem.fetch(0, 2 << 40)
+        result = mem.fetch(1, 2 << 40)
+        assert result.level != "l1"
+
+    def test_fetch_rejects_unknown_slice(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        with pytest.raises(ValueError):
+            mem.fetch(5, 0)
+
+    def test_prewarm_makes_code_resident(self):
+        mem = MemorySystem(VCoreConfig(2, 128))
+        addresses = [(2 << 40) + block * 64 for block in range(64)]  # 4 KB
+        mem.prewarm_code(addresses)
+        for slice_id in (0, 1):
+            for address in addresses:
+                assert mem.fetch(slice_id, address).level == "l1"
+
+    def test_prewarm_leaves_no_statistics(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        mem.prewarm_code([(2 << 40) + block * 64 for block in range(16)])
+        stats = mem.stats()
+        assert stats["l1i_misses"] == 0
+        assert stats["l2_misses"] == 0
+
+
+class TestCodeFootprintBehaviour:
+    def test_trace_ops_carry_code_addresses(self):
+        ops = TraceGenerator(make_phase(8), seed=0).generate(500)
+        assert all(op.code_address is not None for op in ops)
+        assert all(op.code_address % 64 == 0 for op in ops)
+
+    def test_code_addresses_stay_within_footprint(self):
+        ops = TraceGenerator(make_phase(8), seed=0).generate(2000)
+        base = 2 << 40
+        for op in ops:
+            assert base <= op.code_address < base + 8 * 1024
+
+    def test_small_footprint_never_misses_in_steady_state(self):
+        trace = TraceGenerator(make_phase(8), seed=0).generate(2000)
+        result = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace)
+        assert result.l1i_misses == 0
+
+    def test_large_footprint_thrashes_the_l1i(self):
+        """A 64 KB loop cannot stay in a 16 KB L1I (Table II)."""
+        trace = TraceGenerator(make_phase(64), seed=0).generate(3000)
+        result = MultiSlicePipeline(VCoreConfig(2, 256)).run(trace)
+        assert result.l1i_misses > 100
+
+    def test_large_footprint_slows_execution(self):
+        small = TraceGenerator(make_phase(8), seed=0).generate(3000)
+        large = TraceGenerator(make_phase(64), seed=0).generate(3000)
+        config = VCoreConfig(2, 256)
+        ipc_small = MultiSlicePipeline(config).run(small).ipc
+        ipc_large = MultiSlicePipeline(config).run(large).ipc
+        assert ipc_large < 0.8 * ipc_small
+
+    def test_phase_rejects_bad_footprint(self):
+        with pytest.raises(ValueError):
+            make_phase(0)

@@ -1,0 +1,74 @@
+"""The cycle tier's memory system."""
+
+import pytest
+
+from repro.arch.params import DEFAULT_CACHE_PARAMS, DEFAULT_SLICE_PARAMS
+from repro.arch.vcore import VCoreConfig
+from repro.sim.memsys import MemorySystem
+
+
+class TestLevelsAndLatencies:
+    def test_first_access_goes_to_memory(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        result = mem.access(0, 0x1000, is_write=False)
+        assert result.level == "memory"
+        # L1 lookup + L2 lookup + memory delay.
+        assert result.cycles >= 3 + 4 + 100
+
+    def test_second_access_hits_l1(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        mem.access(0, 0x1000, False)
+        result = mem.access(0, 0x1000, False)
+        assert result.level == "l1"
+        assert result.cycles == DEFAULT_CACHE_PARAMS.l1_hit_delay
+
+    def test_l2_hit_after_l1_eviction(self):
+        mem = MemorySystem(VCoreConfig(1, 256))
+        level = DEFAULT_CACHE_PARAMS.l1d
+        stride = level.num_sets * level.block_bytes
+        mem.access(0, 0, False)
+        # Evict block 0 from the (2-way) L1 set with conflicting blocks.
+        for i in range(1, level.associativity + 1):
+            mem.access(0, i * stride, False)
+        result = mem.access(0, 0, False)
+        assert result.level == "l2"
+        assert result.cycles > DEFAULT_CACHE_PARAMS.l1_hit_delay
+
+    def test_bank_distance_grows_cost(self):
+        small = MemorySystem(VCoreConfig(1, 64))
+        large = MemorySystem(VCoreConfig(1, 8192))
+        # Find an address resident in L2 for both: first access installs.
+        small.access(0, 0, False)
+        large.access(0, 0, False)
+        far_delay = max(bank.hit_delay for bank in large.l2.banks)
+        near_delay = small.l2.banks[0].hit_delay
+        assert far_delay > near_delay
+
+    def test_per_slice_l1s_are_private(self):
+        mem = MemorySystem(VCoreConfig(2, 128))
+        mem.access(0, 0x2000, False)
+        result = mem.access(1, 0x2000, False)
+        assert result.level != "l1"  # slice 1's L1 never saw it
+
+    def test_l2_shared_across_slices(self):
+        mem = MemorySystem(VCoreConfig(2, 128))
+        mem.access(0, 0x2000, False)
+        result = mem.access(1, 0x2000, False)
+        assert result.level == "l2"
+
+    def test_rejects_unknown_slice(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        with pytest.raises(ValueError):
+            mem.access(3, 0, False)
+
+    def test_stats(self):
+        mem = MemorySystem(VCoreConfig(1, 64))
+        mem.access(0, 0, False)
+        mem.access(0, 0, False)
+        stats = mem.stats()
+        assert stats["l1_hits"] == 1
+        assert stats["l2_misses"] == 1
+
+    def test_bank_count_matches_config(self):
+        mem = MemorySystem(VCoreConfig(2, 512))
+        assert mem.l2.num_banks == 8

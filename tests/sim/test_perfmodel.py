@@ -1,0 +1,185 @@
+"""The fast analytic performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL, PerformanceModel, slice_extent
+from repro.workloads.phase import Phase
+
+CONFIGS = st.builds(
+    VCoreConfig,
+    slices=st.integers(1, 8),
+    l2_kb=st.sampled_from([64 * 2 ** i for i in range(8)]),
+)
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        name="p",
+        instructions_m=10,
+        ilp=3.0,
+        mem_refs_per_inst=0.3,
+        l1_miss_rate=0.1,
+        working_set=((256, 0.6), (2048, 0.9)),
+        mlp=2.0,
+        comm_penalty=0.05,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+class TestSliceExtent:
+    def test_single_slice_has_no_extent(self):
+        assert slice_extent(1) == 0.0
+
+    def test_grows_with_slices(self):
+        extents = [slice_extent(n) for n in range(1, 9)]
+        assert extents == sorted(extents)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            slice_extent(0)
+
+
+class TestPeakIpc:
+    def test_bounded_by_ilp(self):
+        phase = make_phase(ilp=2.5, comm_penalty=0.0)
+        for n in range(1, 9):
+            assert DEFAULT_PERF_MODEL.peak_ipc(phase, n) <= 2.5
+
+    def test_saturating_in_slices(self):
+        phase = make_phase(ilp=4.0, comm_penalty=0.0)
+        gains = [
+            DEFAULT_PERF_MODEL.peak_ipc(phase, n + 1)
+            - DEFAULT_PERF_MODEL.peak_ipc(phase, n)
+            for n in range(1, 8)
+        ]
+        assert all(g >= -1e-12 for g in gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_strong_comm_penalty_creates_slice_optimum(self):
+        """Low-ILP, high-communication phases peak at few Slices —
+        one source of the non-convexity in Fig. 1."""
+        phase = make_phase(ilp=1.4, comm_penalty=0.35)
+        peaks = [DEFAULT_PERF_MODEL.peak_ipc(phase, n) for n in range(1, 9)]
+        best = peaks.index(max(peaks)) + 1
+        assert best < 8
+
+
+class TestMemoryCpi:
+    def test_zero_for_pure_compute(self):
+        phase = make_phase(mem_refs_per_inst=0.0)
+        assert DEFAULT_PERF_MODEL.memory_cpi(phase, VCoreConfig(1, 64)) == 0.0
+
+    def test_decreases_when_working_set_fits(self):
+        phase = make_phase(working_set=((256, 0.9),))
+        small = DEFAULT_PERF_MODEL.memory_cpi(phase, VCoreConfig(1, 64))
+        fits = DEFAULT_PERF_MODEL.memory_cpi(phase, VCoreConfig(1, 256))
+        assert fits < small
+
+    def test_increases_on_plateau(self):
+        """More banks without more capture = pure latency overhead."""
+        phase = make_phase(working_set=((64, 0.5),))
+        small = DEFAULT_PERF_MODEL.memory_cpi(phase, VCoreConfig(1, 64))
+        bigger = DEFAULT_PERF_MODEL.memory_cpi(phase, VCoreConfig(1, 2048))
+        assert bigger > small
+
+    def test_effective_mlp_capped_by_inflight_loads(self):
+        phase = make_phase(mlp=100.0)
+        assert DEFAULT_PERF_MODEL.effective_mlp(phase, 1) == 8.0
+        assert DEFAULT_PERF_MODEL.effective_mlp(phase, 2) == 16.0
+
+
+class TestIpc:
+    @given(config=CONFIGS)
+    def test_always_positive_and_bounded(self, config):
+        phase = make_phase()
+        ipc = DEFAULT_PERF_MODEL.ipc(phase, config)
+        assert 0.0 < ipc <= config.slices * 2
+
+    def test_cycles_for(self):
+        phase = make_phase()
+        config = VCoreConfig(2, 256)
+        ipc = DEFAULT_PERF_MODEL.ipc(phase, config)
+        assert DEFAULT_PERF_MODEL.cycles_for(phase, config, 1e6) == pytest.approx(
+            1e6 / ipc
+        )
+
+    def test_cycles_for_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PERF_MODEL.cycles_for(make_phase(), VCoreConfig(1, 64), -1)
+
+    def test_compute_phase_scales_with_slices(self):
+        phase = make_phase(
+            ilp=6.0, mem_refs_per_inst=0.1, l1_miss_rate=0.02,
+            comm_penalty=0.01, working_set=((64, 0.95),),
+        )
+        ipc1 = DEFAULT_PERF_MODEL.ipc(phase, VCoreConfig(1, 64))
+        ipc8 = DEFAULT_PERF_MODEL.ipc(phase, VCoreConfig(8, 64))
+        assert ipc8 > 2.5 * ipc1
+
+    def test_memory_bound_phase_scales_with_cache(self):
+        phase = make_phase(
+            ilp=2.0, mem_refs_per_inst=0.4, l1_miss_rate=0.3,
+            working_set=((4096, 0.9),),
+        )
+        small = DEFAULT_PERF_MODEL.ipc(phase, VCoreConfig(2, 64))
+        large = DEFAULT_PERF_MODEL.ipc(phase, VCoreConfig(2, 4096))
+        assert large > 1.5 * small
+
+
+class TestGridAndOptima:
+    def test_grid_shape_matches_space(self):
+        grid = DEFAULT_PERF_MODEL.ipc_grid(make_phase())
+        assert grid.shape == (8, 8)
+
+    def test_grid_matches_pointwise_ipc(self):
+        phase = make_phase()
+        grid = DEFAULT_PERF_MODEL.ipc_grid(phase)
+        space = DEFAULT_CONFIG_SPACE
+        for i, slices in enumerate(space.slice_counts):
+            for j, l2_kb in enumerate(space.l2_sizes_kb):
+                assert grid[i, j] == pytest.approx(
+                    DEFAULT_PERF_MODEL.ipc(phase, VCoreConfig(slices, l2_kb))
+                )
+
+    def test_best_config_is_grid_argmax(self):
+        phase = make_phase()
+        best, best_ipc = DEFAULT_PERF_MODEL.best_config(phase)
+        grid = DEFAULT_PERF_MODEL.ipc_grid(phase)
+        assert best_ipc == pytest.approx(grid.max())
+
+    def test_global_optimum_is_a_local_maximum(self):
+        phase = make_phase()
+        best, _ = DEFAULT_PERF_MODEL.best_config(phase)
+        assert best in DEFAULT_PERF_MODEL.local_maxima(phase)
+
+    def test_plateau_phase_yields_multiple_local_maxima(self):
+        """A stepped working set creates a non-convex surface."""
+        phase = make_phase(
+            ilp=2.5,
+            mem_refs_per_inst=0.35,
+            l1_miss_rate=0.15,
+            working_set=((64, 0.3), (512, 0.55), (8192, 0.95)),
+        )
+        maxima = DEFAULT_PERF_MODEL.local_maxima(phase)
+        assert len(maxima) >= 2
+
+    def test_custom_space(self):
+        space = ConfigurationSpace(slice_counts=(1, 2), l2_sizes_kb=(64, 128))
+        grid = DEFAULT_PERF_MODEL.ipc_grid(make_phase(), space)
+        assert grid.shape == (2, 2)
+
+
+class TestCustomParams:
+    def test_longer_memory_delay_hurts_memory_phases(self):
+        from repro.arch.params import SliceParams
+
+        slow = PerformanceModel(
+            slice_params=SliceParams(memory_delay=400)
+        )
+        phase = make_phase(l1_miss_rate=0.3)
+        config = VCoreConfig(1, 64)
+        assert slow.ipc(phase, config) < DEFAULT_PERF_MODEL.ipc(phase, config)

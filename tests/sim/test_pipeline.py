@@ -1,0 +1,155 @@
+"""The cycle-level multi-Slice pipeline."""
+
+import pytest
+
+from repro.arch.counters import CounterKind
+from repro.arch.vcore import VCoreConfig
+from repro.sim.isa import MicroOp, OpKind
+from repro.sim.pipeline import MultiSlicePipeline
+from repro.sim.trace import TraceGenerator
+from repro.workloads.phase import Phase
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        name="p",
+        instructions_m=10,
+        ilp=3.0,
+        mem_refs_per_inst=0.25,
+        l1_miss_rate=0.05,
+        working_set=((256, 0.9),),
+        branch_fraction=0.1,
+        mispredict_rate=0.02,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+def alu_chain(count, dependent=True):
+    """A chain of ALU ops; fully serial when dependent."""
+    ops = []
+    for i in range(count):
+        sources = (0,) if (i == 0 or not dependent) else (1,)
+        ops.append(MicroOp(op_id=i, kind=OpKind.ALU, sources=sources, dest=1))
+    return ops
+
+
+class TestBasicExecution:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSlicePipeline(VCoreConfig(1, 64)).run([])
+
+    def test_all_instructions_commit(self):
+        trace = TraceGenerator(make_phase(), seed=0).generate(500)
+        result = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace)
+        assert result.instructions == 500
+        assert result.cycles > 0
+
+    def test_serial_chain_is_one_per_cycle_at_best(self):
+        result = MultiSlicePipeline(VCoreConfig(1, 64)).run(alu_chain(200))
+        assert result.ipc <= 1.0 + 1e-9
+
+    def test_independent_ops_beat_serial_chain(self):
+        serial = MultiSlicePipeline(VCoreConfig(1, 64)).run(alu_chain(200))
+        parallel = MultiSlicePipeline(VCoreConfig(4, 64)).run(
+            alu_chain(200, dependent=False)
+        )
+        assert parallel.ipc > serial.ipc
+
+    def test_deterministic(self):
+        trace = TraceGenerator(make_phase(), seed=1).generate(400)
+        a = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace)
+        b = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace)
+        assert a.cycles == b.cycles
+
+    def test_single_alu_bounds_alu_throughput(self):
+        """One ALU per Slice: independent ALU ops still cap at ~1 IPC
+        per Slice."""
+        result = MultiSlicePipeline(VCoreConfig(1, 64)).run(
+            alu_chain(300, dependent=False)
+        )
+        assert result.ipc <= 1.0 + 1e-9
+
+
+class TestScaling:
+    def test_more_slices_help_parallel_work(self):
+        phase = make_phase(ilp=6.0, mem_refs_per_inst=0.1, l1_miss_rate=0.02)
+        trace = TraceGenerator(phase, seed=0).generate(2000)
+        ipc1 = MultiSlicePipeline(VCoreConfig(1, 64)).run(trace).ipc
+        ipc4 = MultiSlicePipeline(VCoreConfig(4, 64)).run(trace).ipc
+        assert ipc4 > 1.5 * ipc1
+
+    def test_bigger_cache_helps_memory_work(self):
+        # A 128 KB looping working set: a 64 KB L2 thrashes, a 256 KB
+        # L2 holds it.  The trace must be long enough to re-touch the
+        # footprint (cold first touches miss in any cache).
+        phase = make_phase(
+            mem_refs_per_inst=0.4,
+            l1_miss_rate=0.6,
+            working_set=((128, 0.95),),
+        )
+        trace = TraceGenerator(phase, seed=0).generate(12_000)
+        small = MultiSlicePipeline(VCoreConfig(2, 64)).run(trace).ipc
+        large = MultiSlicePipeline(VCoreConfig(2, 256)).run(trace).ipc
+        assert large > small
+
+
+class TestMemoryBehaviour:
+    def test_l2_misses_counted(self):
+        phase = make_phase(
+            mem_refs_per_inst=0.5,
+            l1_miss_rate=0.9,
+            working_set=((64, 0.05),),  # streaming: nearly all misses
+        )
+        trace = TraceGenerator(phase, seed=0).generate(1000)
+        result = MultiSlicePipeline(VCoreConfig(1, 64)).run(trace)
+        assert result.l2_misses > 100
+
+    def test_fitting_working_set_hits_in_l2(self):
+        # A 64 KB working set re-touched many times: once warm, the
+        # 256 KB L2 serves the L1 misses.
+        phase = make_phase(
+            mem_refs_per_inst=0.5, l1_miss_rate=0.8, working_set=((64, 0.98),)
+        )
+        trace = TraceGenerator(phase, seed=0).generate(12_000)
+        result = MultiSlicePipeline(VCoreConfig(1, 256)).run(trace)
+        assert result.l2_hits > result.l2_misses
+
+    def test_counters_populated(self):
+        trace = TraceGenerator(make_phase(), seed=0).generate(600)
+        pipeline = MultiSlicePipeline(VCoreConfig(2, 128))
+        pipeline.run(trace)
+        committed = sum(
+            c.value(CounterKind.INSTRUCTIONS_COMMITTED)
+            for c in pipeline.counters
+        )
+        assert committed == 600
+        assert all(
+            c.value(CounterKind.CYCLES) > 0 for c in pipeline.counters
+        )
+
+
+class TestBranches:
+    def test_mispredicts_slow_execution(self):
+        clean = make_phase(branch_fraction=0.2, mispredict_rate=0.0)
+        dirty = make_phase(branch_fraction=0.2, mispredict_rate=0.2)
+        trace_clean = TraceGenerator(clean, seed=0).generate(1500)
+        trace_dirty = TraceGenerator(dirty, seed=0).generate(1500)
+        ipc_clean = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace_clean).ipc
+        ipc_dirty = MultiSlicePipeline(VCoreConfig(2, 128)).run(trace_dirty).ipc
+        assert ipc_dirty < ipc_clean
+
+    def test_mispredicts_counted(self):
+        phase = make_phase(branch_fraction=0.3, mispredict_rate=0.3)
+        trace = TraceGenerator(phase, seed=0).generate(1000)
+        result = MultiSlicePipeline(VCoreConfig(1, 64)).run(trace)
+        expected = sum(op.mispredicted for op in trace)
+        assert result.mispredicts == expected
+
+
+class TestDrain:
+    def test_drain_matches_pipeline_flush_scale(self):
+        """A pipeline flush is ~15 cycles (Section VI-A)."""
+        trace = TraceGenerator(make_phase(), seed=0).generate(300)
+        pipeline = MultiSlicePipeline(VCoreConfig(1, 64))
+        assert pipeline.drain_cycles(trace) == 15

@@ -1,0 +1,68 @@
+"""Trace file persistence."""
+
+import pytest
+
+from repro.sim.isa import MicroOp, OpKind
+from repro.sim.trace import TraceGenerator
+from repro.sim.tracefile import TraceFormatError, load_trace, save_trace
+from repro.workloads.apps import make_x264
+
+
+class TestRoundTrip:
+    def test_generated_trace_round_trips(self, tmp_path):
+        phase = make_x264().phases[0]
+        ops = TraceGenerator(phase, seed=3).generate(400)
+        path = tmp_path / "trace.tsv"
+        count = save_trace(ops, str(path))
+        assert count == 400
+        assert load_trace(str(path)) == ops
+
+    def test_replayed_trace_gives_identical_cycles(self, tmp_path):
+        from repro.arch.vcore import VCoreConfig
+        from repro.sim.pipeline import MultiSlicePipeline
+
+        phase = make_x264().phases[1]
+        ops = TraceGenerator(phase, seed=1).generate(600)
+        path = tmp_path / "trace.tsv"
+        save_trace(ops, str(path))
+        replayed = load_trace(str(path))
+        original = MultiSlicePipeline(VCoreConfig(2, 128)).run(ops)
+        replay = MultiSlicePipeline(VCoreConfig(2, 128)).run(replayed)
+        assert original.cycles == replay.cycles
+
+    def test_all_op_kinds_survive(self, tmp_path):
+        ops = [
+            MicroOp(op_id=0, kind=OpKind.ALU, sources=(1, 2), dest=3),
+            MicroOp(op_id=1, kind=OpKind.LOAD, sources=(3,), dest=4,
+                    address=4096, code_address=64),
+            MicroOp(op_id=2, kind=OpKind.STORE, sources=(4,), address=8192),
+            MicroOp(op_id=3, kind=OpKind.BRANCH, sources=(4,),
+                    mispredicted=True),
+        ]
+        path = tmp_path / "kinds.tsv"
+        save_trace(ops, str(path))
+        assert load_trace(str(path)) == ops
+
+
+class TestErrors:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(str(path))
+
+    def test_rejects_truncated_trace(self, tmp_path):
+        ops = [MicroOp(op_id=0, kind=OpKind.ALU, dest=1)]
+        path = tmp_path / "trace.tsv"
+        save_trace(ops, str(path))
+        content = path.read_text().splitlines()
+        content[0] = content[0].replace("count=1", "count=5")
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(str(path))
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text("#ssim-trace v1 count=1\nnot\tenough\tfields\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(str(path))

@@ -1,0 +1,222 @@
+"""Cross-layer integration: the co-design running end to end.
+
+These tests wire layers together the way the real system would be
+wired: the CASH runtime controlling a virtual core whose performance
+comes from the *cycle-level* pipeline (not the analytic model it was
+tuned against), and runtime decisions driving fabric reallocation,
+reconfiguration accounting, and register-state preservation.
+"""
+
+import pytest
+
+from repro.arch.cost import DEFAULT_COST_MODEL
+from repro.arch.fabric import Fabric
+from repro.arch.reconfig import ReconfigCostModel, ReconfigEngine
+from repro.arch.registers import DistributedRegisterFile
+from repro.arch.vcore import VCoreConfig
+from repro.runtime.cash import CASHRuntime, LegObservation, QoSMeasurement
+from repro.sim.pipeline import MultiSlicePipeline
+from repro.sim.trace import TraceGenerator
+from repro.workloads.phase import Phase
+
+COMPUTE_PHASE = Phase(
+    name="integration.compute",
+    instructions_m=1.0,
+    ilp=4.0,
+    mem_refs_per_inst=0.2,
+    l1_miss_rate=0.03,
+    working_set=((128, 0.9),),
+    mlp=2.5,
+    comm_penalty=0.03,
+)
+
+MEMORY_PHASE = Phase(
+    name="integration.memory",
+    instructions_m=1.0,
+    ilp=2.0,
+    mem_refs_per_inst=0.4,
+    l1_miss_rate=0.5,
+    working_set=((256, 0.9),),
+    mlp=3.0,
+    comm_penalty=0.08,
+)
+
+# A compact menu keeps the cycle-tier closed loop fast.
+MENU = [
+    VCoreConfig(1, 64),
+    VCoreConfig(2, 128),
+    VCoreConfig(2, 256),
+    VCoreConfig(4, 256),
+    VCoreConfig(4, 512),
+]
+
+
+class CycleTierMachine:
+    """A virtual core whose QoS is measured by the pipeline model."""
+
+    def __init__(self, phase: Phase, instructions: int = 1200) -> None:
+        self.phase = phase
+        self.instructions = instructions
+        self._cache = {}
+        self._trace_seed = 0
+
+    def measure(self, config: VCoreConfig) -> float:
+        key = (self.phase.name, config)
+        if key not in self._cache:
+            trace = TraceGenerator(
+                self.phase, seed=self._trace_seed
+            ).generate(self.instructions)
+            result = MultiSlicePipeline(config).run(trace)
+            self._cache[key] = result.ipc
+        return self._cache[key]
+
+    def run_schedule(self, schedule) -> QoSMeasurement:
+        total = 0.0
+        legs = []
+        for entry in schedule.entries:
+            qos = 0.0 if entry.point.is_idle else self.measure(entry.point.config)
+            total += qos * entry.fraction
+            legs.append(
+                LegObservation(
+                    config=entry.point.config,
+                    fraction=entry.fraction,
+                    qos=qos,
+                )
+            )
+        signature = (
+            self.phase.mem_refs_per_inst,
+            self.phase.l1_miss_rate,
+            self.phase.mispredict_rate,
+        )
+        return QoSMeasurement(overall_qos=total, legs=tuple(legs),
+                              signature=signature)
+
+
+class TestRuntimeOnCycleTier:
+    @pytest.fixture(scope="class")
+    def machines(self):
+        return {
+            "compute": CycleTierMachine(COMPUTE_PHASE),
+            "memory": CycleTierMachine(MEMORY_PHASE),
+        }
+
+    def _runtime(self, goal):
+        return CASHRuntime(
+            configs=MENU,
+            cost_rates=[c.cost_rate(DEFAULT_COST_MODEL) for c in MENU],
+            qos_goal=goal,
+            base_config=MENU[0],
+            initial_base_qos=goal / 2,
+            explore=False,
+        )
+
+    def test_converges_to_goal_measured_by_the_pipeline(self, machines):
+        machine = machines["compute"]
+        best = max(machine.measure(c) for c in MENU)
+        goal = best * 0.6
+        runtime = self._runtime(goal)
+        measurement = None
+        deliveries = []
+        for _ in range(30):
+            decision = runtime.step(measurement)
+            measurement = machine.run_schedule(decision.schedule)
+            deliveries.append(measurement.overall_qos)
+        assert all(q >= goal * 0.95 for q in deliveries[-8:])
+
+    def test_settles_cheaper_than_racing_the_best_config(self, machines):
+        machine = machines["compute"]
+        best_config = max(MENU, key=machine.measure)
+        goal = machine.measure(best_config) * 0.6
+        runtime = self._runtime(goal)
+        measurement = None
+        for _ in range(30):
+            decision = runtime.step(measurement)
+            measurement = machine.run_schedule(decision.schedule)
+        final_cost = runtime.last_schedule.average_cost_rate
+        assert final_cost < best_config.cost_rate(DEFAULT_COST_MODEL)
+
+    def test_adapts_when_the_cycle_tier_changes_phase(self, machines):
+        compute, memory = machines["compute"], machines["memory"]
+        goal = min(
+            max(compute.measure(c) for c in MENU),
+            max(memory.measure(c) for c in MENU),
+        ) * 0.6
+        runtime = self._runtime(goal)
+        measurement = None
+        for _ in range(25):
+            decision = runtime.step(measurement)
+            measurement = compute.run_schedule(decision.schedule)
+        recovered = None
+        for step in range(25):
+            decision = runtime.step(measurement)
+            measurement = memory.run_schedule(decision.schedule)
+            if measurement.overall_qos >= goal * 0.95:
+                recovered = step
+                break
+        assert recovered is not None and recovered <= 12
+
+
+class TestRuntimeDrivesTheFabric:
+    def test_decisions_apply_to_fabric_and_preserve_registers(self):
+        """Follow a runtime's decisions with real fabric reallocation,
+        reconfiguration accounting and register-file state."""
+        fabric = Fabric(width=12, height=12)
+        registers = DistributedRegisterFile(slice_ids=range(4))
+        for gr in range(24):
+            registers.write(gr % 4, gr, gr * 3)
+        engine = ReconfigEngine(
+            initial=VCoreConfig(4, 256),
+            cost_model=ReconfigCostModel(dirty_fraction=0.25),
+            register_file=registers,
+        )
+        fabric.allocate(1, engine.current)
+
+        runtime = CASHRuntime(
+            configs=MENU,
+            cost_rates=[c.cost_rate(DEFAULT_COST_MODEL) for c in MENU],
+            qos_goal=1.0,
+            base_config=MENU[0],
+            initial_base_qos=0.5,
+            explore=False,
+        )
+        true_qos = {
+            MENU[0]: 0.5, MENU[1]: 0.9, MENU[2]: 1.1,
+            MENU[3]: 1.6, MENU[4]: 1.9,
+        }
+        measurement = None
+        overheads = []
+        for _ in range(20):
+            decision = runtime.step(measurement)
+            active = decision.schedule.active_entries
+            peak = max(
+                (e.point.config for e in active),
+                key=lambda c: c.tiles,
+                default=engine.current,
+            )
+            if peak != engine.current:
+                # Registers only track Slice membership; resize both.
+                result = engine.apply(peak)
+                overheads.append(result.overhead_cycles)
+                fabric.reallocate(1, peak)
+            total = sum(
+                true_qos[e.point.config] * e.fraction
+                for e in active
+            )
+            legs = tuple(
+                LegObservation(e.point.config, e.fraction,
+                               true_qos[e.point.config])
+                for e in active
+            )
+            measurement = QoSMeasurement(
+                overall_qos=total, legs=legs, signature=(0.3, 0.1, 0.03)
+            )
+
+        # The fabric allocation matches the engine's configuration.
+        assert fabric.allocation(1).config == engine.current
+        # Register state survived every resize.
+        assert registers.architectural_state() == {
+            gr: gr * 3 for gr in range(24)
+        }
+        # Reconfiguration overheads were charged and bounded.
+        assert engine.total_overhead_cycles == sum(overheads)
+        assert all(0 < cycles <= 8192 for cycles in overheads)

@@ -1,0 +1,123 @@
+"""The 13 application models and the x264 Fig. 1 properties."""
+
+import pytest
+
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import ALL_APPS, APP_NAMES, get_app, make_x264
+
+EXPECTED_NAMES = [
+    "apache",
+    "astar",
+    "bzip",
+    "ferret",
+    "gcc",
+    "h264ref",
+    "hmmer",
+    "lib",
+    "mailserver",
+    "mcf",
+    "omnetpp",
+    "sjeng",
+    "x264",
+]
+
+
+class TestSuiteComposition:
+    def test_thirteen_applications(self):
+        assert len(APP_NAMES) == 13
+
+    def test_paper_benchmark_names(self):
+        assert APP_NAMES == EXPECTED_NAMES
+
+    def test_all_apps_builds_fresh_instances(self):
+        apps = ALL_APPS()
+        assert len(apps) == 13
+        assert apps[0] is not ALL_APPS()[0]
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_app("doom")
+
+    def test_server_apps_are_latency(self):
+        assert get_app("apache").qos_kind == "latency"
+        assert get_app("mailserver").qos_kind == "latency"
+
+    def test_spec_apps_are_throughput(self):
+        for name in ("astar", "gcc", "mcf", "x264"):
+            assert get_app(name).qos_kind == "throughput"
+
+    def test_every_app_has_valid_phases(self):
+        for app in ALL_APPS():
+            assert len(app) >= 2, f"{app.name} needs phases to adapt to"
+            for phase in app:
+                assert phase.instructions > 0
+
+    def test_every_app_achieves_positive_qos(self):
+        model = DEFAULT_PERF_MODEL
+        for app in ALL_APPS():
+            for phase in app:
+                best, ipc = model.best_config(phase, DEFAULT_CONFIG_SPACE)
+                assert ipc > 0.1, f"{phase.name} unreasonably slow"
+
+
+class TestX264Figure1:
+    """The motivational properties of Fig. 1 (Section II-A)."""
+
+    def setup_method(self):
+        self.app = make_x264()
+        self.model = DEFAULT_PERF_MODEL
+        self.space = DEFAULT_CONFIG_SPACE
+
+    def test_ten_phases(self):
+        assert len(self.app) == 10
+
+    def test_six_of_ten_phases_have_distinct_local_optima(self):
+        count = 0
+        for phase in self.app:
+            best, _ = self.model.best_config(phase, self.space)
+            maxima = self.model.local_maxima(phase, self.space)
+            if any(config != best for config in maxima):
+                count += 1
+        assert count == 6
+
+    def test_no_two_consecutive_phases_share_an_optimum(self):
+        optima = [
+            self.model.best_config(phase, self.space)[0]
+            for phase in self.app
+        ]
+        for previous, current in zip(optima, optima[1:]):
+            assert previous != current
+
+    def test_optimum_location_varies_widely(self):
+        """The true optimum moves across the grid phase to phase."""
+        optima = {
+            self.model.best_config(phase, self.space)[0]
+            for phase in self.app
+        }
+        assert len(optima) >= 7
+
+    def test_phase3_needs_a_large_cache(self):
+        """Fig. 8: phase 3's true optimum is expensive (a big L2)."""
+        phase3 = self.app.phases[2]
+        best, _ = self.model.best_config(phase3, self.space)
+        assert best.l2_kb == 8192
+
+    def test_streaming_phase_prefers_minimal_cache(self):
+        """Phase 6 (deblocking) captures almost nothing: extra banks
+        only add hit latency, so 64 KB wins."""
+        phase6 = self.app.phases[5]
+        best, _ = self.model.best_config(phase6, self.space)
+        assert best.l2_kb == 64
+
+
+class TestServerApps:
+    def test_apache_request_size(self):
+        app = get_app("apache")
+        assert app.instructions_per_request > 0
+
+    def test_server_phases_are_long(self):
+        """Request-mix shifts are slow relative to control intervals."""
+        for name in ("apache", "mailserver"):
+            for phase in get_app(name):
+                assert phase.instructions_m >= 100

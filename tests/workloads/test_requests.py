@@ -1,0 +1,106 @@
+"""Request streams for the server workloads (Fig. 9)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.requests import OscillatingLoad, RequestTrace
+
+
+class TestOscillatingLoad:
+    def test_defaults_match_fig9_scale(self):
+        load = OscillatingLoad()
+        rates = load.sample(0, load.period_cycles, 64)
+        assert min(rates) >= load.floor
+        assert max(rates) <= load.peak_rate
+
+    def test_starts_at_trough(self):
+        load = OscillatingLoad(mean_rate=800, amplitude=550, floor=100)
+        assert load.rate_at(0) == pytest.approx(250.0)
+
+    def test_peak_at_three_quarters(self):
+        load = OscillatingLoad(mean_rate=800, amplitude=550, floor=100)
+        rate = load.rate_at(load.period_cycles / 2)
+        assert rate == pytest.approx(1350.0)
+
+    def test_periodicity(self):
+        load = OscillatingLoad()
+        assert load.rate_at(1e6) == pytest.approx(
+            load.rate_at(1e6 + load.period_cycles)
+        )
+
+    def test_floor_is_enforced(self):
+        load = OscillatingLoad(mean_rate=100, amplitude=500, floor=50)
+        rates = load.sample(0, load.period_cycles, 100)
+        assert min(rates) == 50
+
+    def test_burst_window(self):
+        load = OscillatingLoad(
+            burst_factor=2.0,
+            burst_start_cycle=0.0,
+            burst_end_cycle=1e6,
+        )
+        inside = load.rate_at(0.0)
+        outside = OscillatingLoad().rate_at(0.0)
+        assert inside == pytest.approx(2 * outside)
+
+    def test_peak_rate_includes_burst(self):
+        load = OscillatingLoad(mean_rate=800, amplitude=200, burst_factor=1.5)
+        assert load.peak_rate == pytest.approx(1500.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OscillatingLoad(mean_rate=0)
+        with pytest.raises(ValueError):
+            OscillatingLoad(amplitude=-1)
+        with pytest.raises(ValueError):
+            OscillatingLoad(period_cycles=0)
+        with pytest.raises(ValueError):
+            OscillatingLoad(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            OscillatingLoad().rate_at(-1.0)
+
+    def test_sample_validation(self):
+        load = OscillatingLoad()
+        with pytest.raises(ValueError):
+            load.sample(0, 100, 0)
+        with pytest.raises(ValueError):
+            load.sample(100, 100, 10)
+
+    @given(cycle=st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_rate_always_within_bounds(self, cycle):
+        load = OscillatingLoad()
+        rate = load.rate_at(cycle)
+        assert load.floor <= rate <= load.peak_rate
+
+
+class TestRequestTrace:
+    def test_rates_per_interval(self):
+        trace = RequestTrace(rates=[100, 200, 300], interval_cycles=1000)
+        assert trace.rate_at(0) == 100
+        assert trace.rate_at(1500) == 200
+        assert trace.rate_at(2999) == 300
+
+    def test_wraps(self):
+        trace = RequestTrace(rates=[100, 200], interval_cycles=10)
+        assert trace.rate_at(25) == 100  # third interval wraps to first
+
+    def test_peak_and_total(self):
+        trace = RequestTrace(rates=[5, 50, 10], interval_cycles=100)
+        assert trace.peak_rate == 50
+        assert trace.total_cycles == 300
+
+    def test_iteration(self):
+        trace = RequestTrace(rates=[1, 2], interval_cycles=10)
+        assert list(trace) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestTrace(rates=[], interval_cycles=10)
+        with pytest.raises(ValueError):
+            RequestTrace(rates=[-1], interval_cycles=10)
+        with pytest.raises(ValueError):
+            RequestTrace(rates=[1], interval_cycles=0)
+        with pytest.raises(ValueError):
+            RequestTrace(rates=[1], interval_cycles=10).rate_at(-5)
