@@ -1,0 +1,194 @@
+"""Speed of the experiment engine itself (not a paper artefact).
+
+Three layers of the fast experiment engine are measured and pinned:
+
+* the vectorized + memoized performance-model kernel — a cached
+  operating-point table lookup must beat rebuilding the table with the
+  scalar model by a wide margin (this is what every allocator and the
+  harness hit once per interval);
+* the end-to-end single cell — fast paths on vs the reference scalar
+  paths, with the *same* cost/violation outputs (the fast engine is an
+  optimization, never a model change);
+* the parallel sweep executor — job count must never change results,
+  and on multi-core boxes more jobs must not be slower.
+
+Wall-clock numbers are persisted to ``BENCH_PERF.json`` so runs can be
+compared across commits.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import perf
+from repro.arch.vcore import DEFAULT_CONFIG_SPACE
+from repro.experiments.scenarios import run_app_with_allocator
+from repro.experiments.stats import (
+    CellSpec,
+    record_bench_perf,
+    run_cells,
+    sweep,
+)
+from repro.sim.optables import (
+    build_table_scalar,
+    cache_clear,
+    operating_point_table,
+)
+from repro.sim.perfmodel import DEFAULT_PERF_MODEL
+from repro.workloads.apps import make_x264
+
+MODEL = DEFAULT_PERF_MODEL
+SPACE = DEFAULT_CONFIG_SPACE
+
+
+def _time(fn, reps):
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+@pytest.mark.benchmark(group="engine")
+def test_kernel_memoized_tables(benchmark, announce):
+    """Cached table lookups >= 5x faster than scalar table builds."""
+    phases = make_x264().phases
+
+    def scalar():
+        for phase in phases:
+            build_table_scalar(phase, MODEL, SPACE)
+
+    def cached():
+        for phase in phases:
+            operating_point_table(phase, MODEL, SPACE)
+
+    cache_clear()
+    cached()  # populate the table cache once (the steady state)
+    scalar_s = _time(scalar, 10)
+    cached_s = benchmark.pedantic(lambda: _time(cached, 100), rounds=1, iterations=1)
+    speedup = scalar_s / cached_s
+
+    announce("\n=== Perf-model kernel: scalar rebuild vs memoized table ===")
+    announce(f"scalar build (10 phases): {scalar_s * 1e3:8.3f} ms")
+    announce(f"memoized lookup:          {cached_s * 1e3:8.3f} ms")
+    announce(f"speedup:                  {speedup:8.1f}x")
+
+    record_bench_perf(
+        "kernel",
+        {
+            "scalar_build_ms": round(scalar_s * 1e3, 3),
+            "memoized_lookup_ms": round(cached_s * 1e3, 4),
+            "speedup": round(speedup, 1),
+        },
+    )
+    # Tables are equal either way (see tests/sim/test_optables.py); here
+    # only the speed is at stake.
+    assert speedup >= 5.0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_single_cell_fast_vs_reference(benchmark, announce):
+    """Fast paths change the wall clock, never the outputs."""
+
+    def run():
+        return run_app_with_allocator("x264", "cash", intervals=200, seed=0)
+
+    with perf.fast_paths(False):
+        run()  # warm imports and traces outside the timed region
+        reference_s = _time(run, 3)
+        reference = run()
+    with perf.fast_paths(True):
+        fast_s = benchmark.pedantic(lambda: _time(run, 3), rounds=1, iterations=1)
+        fast = run()
+    speedup = reference_s / fast_s
+
+    announce("\n=== Single cell (x264/cash, 200 intervals, seed 0) ===")
+    announce(f"reference paths: {reference_s:6.3f} s")
+    announce(f"fast paths:      {fast_s:6.3f} s")
+    announce(f"speedup:         {speedup:6.2f}x")
+
+    record_bench_perf(
+        "single_cell",
+        {
+            "cell": "x264/cash/200/seed0",
+            "reference_seconds": round(reference_s, 4),
+            "fast_seconds": round(fast_s, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert fast.mean_cost_rate == reference.mean_cost_rate
+    assert fast.violation_percent == reference.violation_percent
+    assert fast.records == reference.records
+    # Conservative floor; typically ~2.5x on this cell (the CASH
+    # allocator re-solves the envelope every interval, the dominant
+    # remaining cost).  The >= 5x kernel claim is pinned above where
+    # the memoized kernel is isolated from control-loop overhead.
+    assert speedup >= 1.5
+
+
+@pytest.mark.benchmark(group="engine")
+def test_sweep_parallel_equals_serial(benchmark, announce):
+    """Job count is invisible in the results, visible in the clock."""
+    specs = [
+        CellSpec(app_name=app, kind=kind, intervals=120, seed=seed)
+        for app in ("x264", "mcf")
+        for kind in ("cash", "optimal")
+        for seed in (0, 1)
+    ]
+
+    start = time.perf_counter()
+    serial = run_cells(specs, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    jobs = min(4, os.cpu_count() or 1)
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_cells(specs, jobs=max(jobs, 2)), rounds=1, iterations=1
+    )
+    parallel_s = time.perf_counter() - start
+
+    announce(f"\n=== Sweep executor ({len(specs)} cells) ===")
+    announce(f"serial (jobs=1):      {serial_s:6.3f} s")
+    announce(f"parallel (jobs={max(jobs, 2)}):    {parallel_s:6.3f} s")
+
+    record_bench_perf(
+        "sweep_executor",
+        {
+            "cells": len(specs),
+            "serial_seconds": round(serial_s, 4),
+            "parallel_jobs": max(jobs, 2),
+            "parallel_seconds": round(parallel_s, 4),
+        },
+    )
+    for left, right in zip(serial, parallel):
+        assert left.mean_cost_rate == right.mean_cost_rate
+        assert left.violation_percent == right.violation_percent
+        assert left.records == right.records
+    if (os.cpu_count() or 1) >= 2:
+        # With real cores available the pool must pay for itself; the
+        # generous factor absorbs process start-up on small grids.
+        assert parallel_s < serial_s * 1.2
+
+
+@pytest.mark.benchmark(group="engine")
+def test_full_grid_sweep_timing(benchmark, announce):
+    """Record the full (app x allocator x seed) grid used for Table III."""
+    results, timing = benchmark.pedantic(
+        lambda: sweep(
+            ("x264", "mcf", "apache"),
+            ("optimal", "cash"),
+            seeds=(0,),
+            intervals=200,
+            jobs=None,  # default: all CPUs
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    announce(
+        f"\n=== Grid sweep: {timing['cells']} cells in "
+        f"{timing['wall_seconds']}s with {timing['jobs']} job(s) ==="
+    )
+    record_bench_perf("grid_sweep", timing)
+    assert set(results) == {"optimal", "cash"}
+    for kind in results:
+        assert set(results[kind]) == {"x264", "mcf", "apache"}

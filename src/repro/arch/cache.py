@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.arch.params import CacheLevelParams, CacheParams, DEFAULT_CACHE_PARAMS
 
 
@@ -53,6 +55,32 @@ def mean_l2_hit_delay(
 ) -> float:
     """Average L2 hit delay for a VCore with the given tile counts."""
     distance = mean_bank_distance(num_banks, num_slices)
+    return distance * params.l2_delay_per_hop + params.l2_base_delay
+
+
+def mean_bank_distance_array(
+    num_banks: np.ndarray, num_slices: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`mean_bank_distance` over broadcastable arrays.
+
+    Performs the same operations in the same order as the scalar
+    version, so results are bit-identical element-wise.
+    """
+    if np.any(num_banks <= 0):
+        raise ValueError("num_banks must be positive")
+    if np.any(num_slices <= 0):
+        raise ValueError("num_slices must be positive")
+    area = num_banks + num_slices
+    return 0.66 * np.sqrt(area)
+
+
+def mean_l2_hit_delay_array(
+    num_banks: np.ndarray,
+    num_slices: np.ndarray,
+    params: CacheParams = DEFAULT_CACHE_PARAMS,
+) -> np.ndarray:
+    """Vectorized :func:`mean_l2_hit_delay` over broadcastable arrays."""
+    distance = mean_bank_distance_array(num_banks, num_slices)
     return distance * params.l2_delay_per_hop + params.l2_base_delay
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
 from repro.runtime.controller import DeadbeatController
@@ -30,6 +31,7 @@ from repro.runtime.optimizer import (
     ScheduleEntry,
     lower_envelope_cost,
 )
+from repro.sim.optables import OperatingPointTable, operating_point_table
 from repro.sim.perfmodel import PerformanceModel
 from repro.workloads.phase import PhasedApplication
 
@@ -40,7 +42,7 @@ def average_points(
     space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     candidates: Optional[Sequence[VCoreConfig]] = None,
-) -> List[ConfigPoint]:
+) -> Sequence[ConfigPoint]:
     """Average-case (QoS, cost) points, instruction-weighted over phases.
 
     This is the offline profile the convex baseline is built from: one
@@ -49,12 +51,31 @@ def average_points(
     """
     pool = list(candidates) if candidates is not None else list(space)
     total_instructions = app.total_instructions
+    if perf.FAST:
+        # Same per-(phase, config) IPC values (the tables are built from
+        # the bit-identical vectorized kernel), same summation order.
+        tables = [
+            operating_point_table(phase, model, space, cost_model)
+            for phase in app.phases
+        ]
+
+        def ipc_of(phase_index: int, config: VCoreConfig) -> float:
+            ipc = tables[phase_index].get_ipc(config)
+            if ipc is not None:
+                return ipc
+            return model.ipc(app.phases[phase_index], config)
+
+    else:
+
+        def ipc_of(phase_index: int, config: VCoreConfig) -> float:
+            return model.ipc(app.phases[phase_index], config)
+
     points = []
     for config in pool:
         # Instruction-weighted harmonic mean: total work over total time.
         cycles = sum(
-            phase.instructions / model.ipc(phase, config)
-            for phase in app.phases
+            phase.instructions / ipc_of(index, config)
+            for index, phase in enumerate(app.phases)
         )
         points.append(
             ConfigPoint(
@@ -63,7 +84,11 @@ def average_points(
                 cost_rate=config.cost_rate(cost_model),
             )
         )
-    return points
+    # The average-case profile is static for the allocator's lifetime;
+    # as an OperatingPointTable its lower envelope is computed once
+    # instead of once per control interval (fast paths only — the
+    # reference path ignores the memoized envelope).
+    return OperatingPointTable(tuple(points))
 
 
 class ConvexOptimizationAllocator:

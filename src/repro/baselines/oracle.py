@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
 from repro.runtime.optimizer import (
@@ -23,6 +24,7 @@ from repro.runtime.optimizer import (
     IDLE_POINT,
     lower_envelope_cost,
 )
+from repro.sim.optables import operating_point_table
 from repro.sim.perfmodel import PerformanceModel
 from repro.workloads.phase import Phase, PhasedApplication
 
@@ -41,8 +43,15 @@ def phase_points(
     model: PerformanceModel,
     space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
     cost_model: CostModel = DEFAULT_COST_MODEL,
-) -> List[ConfigPoint]:
-    """True (QoS, cost) operating points of every configuration."""
+) -> Sequence[ConfigPoint]:
+    """True (QoS, cost) operating points of every configuration.
+
+    Served from the process-global memoized table (with its cached
+    envelope) when the fast paths are on; the points are bit-identical
+    to the scalar construction either way.
+    """
+    if perf.FAST:
+        return operating_point_table(phase, model, space, cost_model)
     return [
         ConfigPoint(
             config=config,

@@ -4,12 +4,15 @@ Usage::
 
     python -m repro list
     python -m repro run --app x264 --allocator cash --intervals 1000
-    python -m repro figure tab3
+    python -m repro figure tab3 --jobs 4
+    python -m repro sweep --seeds 0 1 2 --jobs 8
     python -m repro export --outdir data/
     python -m repro overheads
 
 ``figure`` prints the artefact's rows; ``export`` writes plottable
-``.tsv`` series.
+``.tsv`` series; ``sweep`` runs the full (app × allocator × seed) grid
+in parallel and records the timing in ``BENCH_PERF.json``.  Cells are
+independently seeded, so ``--jobs`` never changes any result.
 """
 
 from __future__ import annotations
@@ -78,12 +81,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         results = apache_timeseries(intervals=args.intervals or 112)
         print(timeseries_table(results, stride=8))
     elif name in ("fig7", "tab3"):
-        results = compare_allocators(intervals=args.intervals or 1000)
+        results = compare_allocators(
+            intervals=args.intervals or 1000, jobs=args.jobs
+        )
         print(cost_table(results))
         print()
         print(per_app_table(results))
     elif name == "fig10":
-        results = compare_architectures(intervals=args.intervals or 1000)
+        results = compare_architectures(
+            intervals=args.intervals or 1000, jobs=args.jobs
+        )
         print(per_app_table(results))
     elif name == "sec6a":
         return _cmd_overheads(args)
@@ -111,6 +118,38 @@ def _cmd_overheads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.stats import record_bench_perf, sweep
+
+    apps = args.apps or list(APP_NAMES)
+    kinds = args.allocators or [kind for kind, _ in ALLOCATOR_KINDS]
+    results, timing = sweep(
+        apps,
+        kinds,
+        seeds=args.seeds,
+        intervals=args.intervals,
+        jobs=args.jobs,
+    )
+    labels = dict(ALLOCATOR_KINDS)
+    for kind in kinds:
+        print(f"{labels.get(kind, kind)}:")
+        for app_name in apps:
+            cell = results[kind][app_name]
+            print(
+                f"  {app_name:<10} cost {cell.cost} $/hr"
+                f"  [median {cell.cost.median:.4f}]"
+                f"  violations {cell.violation_percent} %"
+            )
+    print(
+        f"{timing['cells']} cells x {timing['intervals']} intervals in "
+        f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s) "
+        f"({timing['cells_per_second']:.2f} cells/s)"
+    )
+    path = record_bench_perf("sweep", timing, path=args.bench_out)
+    print(f"timing recorded in {path}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.figures import EXPORTERS, export_all
 
@@ -121,6 +160,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
     for path in paths:
         print(path)
     return 0
+
+
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +191,34 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser("figure", help="print a paper artefact")
     figure_parser.add_argument("name", choices=FIGURES)
     figure_parser.add_argument("--intervals", type=int, default=None)
+    figure_parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help="worker processes for multi-cell figures (fig7/tab3/fig10)",
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="parallel (app x allocator x seed) grid with timing"
+    )
+    sweep_parser.add_argument(
+        "--apps", nargs="+", choices=APP_NAMES, default=None
+    )
+    sweep_parser.add_argument(
+        "--allocators",
+        nargs="+",
+        choices=[kind for kind, _ in ALLOCATOR_KINDS],
+        default=None,
+    )
+    sweep_parser.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
+    sweep_parser.add_argument("--intervals", type=int, default=1000)
+    sweep_parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=None,
+        help="worker processes (default: all CPUs)",
+    )
+    sweep_parser.add_argument("--bench-out", default="BENCH_PERF.json")
 
     sub.add_parser("overheads", help="Section VI-A overhead microbenchmarks")
 
@@ -162,6 +236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "overheads": _cmd_overheads,
         "export": _cmd_export,
     }

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
+from repro import perf
 from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
 from repro.arch.reconfig import ReconfigCostModel, DEFAULT_RECONFIG_COSTS
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
@@ -32,6 +34,7 @@ from repro.runtime.cash import (
     RuntimeDecision,
 )
 from repro.runtime.optimizer import ConfigPoint, Schedule
+from repro.sim.optables import OperatingPointTable, operating_point_table
 from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
 from repro.workloads.phase import Phase, PhasedApplication
 from repro.workloads.requests import OscillatingLoad, RequestTrace
@@ -71,9 +74,19 @@ def qos_target_for(
     """
     if not 0.0 < margin <= 1.0:
         raise ValueError(f"margin must be in (0, 1], got {margin}")
-    worst_case_best = min(
-        max(model.ipc(phase, config) for config in space) for phase in app.phases
-    )
+    if perf.FAST:
+        # max_qos over the memoized table is the same set of floats the
+        # scalar double loop maximizes (the vectorized kernel is
+        # bit-identical), so the target is unchanged.
+        worst_case_best = min(
+            operating_point_table(phase, model, space).max_qos
+            for phase in app.phases
+        )
+    else:
+        worst_case_best = min(
+            max(model.ipc(phase, config) for config in space)
+            for phase in app.phases
+        )
     return worst_case_best * margin
 
 
@@ -159,6 +172,15 @@ class _PhaseWalker:
     def __init__(self, app: PhasedApplication) -> None:
         self.app = app
         self.offset = 0.0  # instructions into the (wrapping) app
+        # Cumulative phase end offsets, accumulated in the same
+        # left-to-right order as the scalar scan so the bisect fast path
+        # sees bit-identical boundary values.
+        ends: List[float] = []
+        cursor = 0.0
+        for phase in app.phases:
+            ends.append(cursor + phase.instructions)
+            cursor += phase.instructions
+        self._phase_ends = ends
 
     def current_phase(self) -> Tuple[int, Phase]:
         return self.app.phase_at_instruction(self.offset)
@@ -212,6 +234,11 @@ class _PhaseWalker:
     def _instructions_left_in_phase(self) -> float:
         total = self.app.total_instructions
         offset = self.offset % total
+        if perf.FAST:
+            index = bisect_right(self._phase_ends, offset)
+            if index < len(self._phase_ends):
+                return self._phase_ends[index] - offset
+            return self.app.phases[-1].instructions
         cursor = 0.0
         for phase in self.app.phases:
             if offset < cursor + phase.instructions:
@@ -265,22 +292,40 @@ class ThroughputSimulator:
         self.noise_std_frac = noise_std_frac
         self.violation_margin = violation_margin
         self.seed = seed
-        self._points_cache: Dict[str, List[ConfigPoint]] = {}
+        self._points_cache: Dict[str, Sequence[ConfigPoint]] = {}
 
-    def true_points(self, phase: Phase) -> List[ConfigPoint]:
+    def true_points(self, phase: Phase) -> Sequence[ConfigPoint]:
         cached = self._points_cache.get(phase.name)
         if cached is not None:
             return cached
-        points = [
-            ConfigPoint(
-                config=config,
-                speedup=self.model.ipc(phase, config),
-                cost_rate=config.cost_rate(self.cost_model),
+        if perf.FAST:
+            # The shared table carries the same points (bit-identical
+            # speedups, same order) plus O(1) IPC lookup and a memoized
+            # envelope for the oracle's per-interval LP.
+            points: Sequence[ConfigPoint] = operating_point_table(
+                phase, self.model, self.space, self.cost_model
             )
-            for config in self.space
-        ]
+        else:
+            points = [
+                ConfigPoint(
+                    config=config,
+                    speedup=self.model.ipc(phase, config),
+                    cost_rate=config.cost_rate(self.cost_model),
+                )
+                for config in self.space
+            ]
         self._points_cache[phase.name] = points
         return points
+
+    def _ipc_of(self, phase: Phase, config: VCoreConfig) -> float:
+        """Model IPC, served from the operating-point table when fast."""
+        if perf.FAST:
+            table = self.true_points(phase)
+            if isinstance(table, OperatingPointTable):
+                ipc = table.get_ipc(config)
+                if ipc is not None:
+                    return ipc
+        return self.model.ipc(phase, config)
 
     def run(
         self,
@@ -426,7 +471,7 @@ class ThroughputSimulator:
             productive = leg_cycles - stall
             executed, used, crossed = walker.run_cycles(
                 productive,
-                lambda phase: self.model.ipc(phase, config),
+                lambda phase, config=config: self._ipc_of(phase, config),
                 stop_at_boundary=True,
             )
             leg_total = used + stall
@@ -570,10 +615,42 @@ class LatencySimulator:
         self.violation_margin = violation_margin
         self.seed = seed
         self._cheapest = min(space, key=lambda c: c.cost_rate(cost_model))
+        # Per-phase (config, capacity, cost_rate) triples: the request
+        # rate only scales the capacity margin, so the expensive part of
+        # ``true_points`` is rate-independent and cacheable.
+        self._capacity_cache: Dict[
+            str, List[Tuple[VCoreConfig, float, float]]
+        ] = {}
+
+    def _ipc_of(self, phase: Phase, config: VCoreConfig) -> float:
+        """Model IPC, served from the operating-point table when fast."""
+        if perf.FAST:
+            ipc = operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            ).get_ipc(config)
+            if ipc is not None:
+                return ipc
+        return self.model.ipc(phase, config)
+
+    def _capacity_entries(
+        self, phase: Phase
+    ) -> List[Tuple[VCoreConfig, float, float]]:
+        cached = self._capacity_cache.get(phase.name)
+        if cached is None:
+            table = operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            )
+            per_request = self.app.instructions_per_request
+            cached = [
+                (point.config, point.speedup / per_request, point.cost_rate)
+                for point in table
+            ]
+            self._capacity_cache[phase.name] = cached
+        return cached
 
     def service_capacity(self, phase: Phase, config: VCoreConfig) -> float:
         """Requests per cycle the configuration can serve in ``phase``."""
-        return self.model.ipc(phase, config) / self.app.instructions_per_request
+        return self._ipc_of(phase, config) / self.app.instructions_per_request
 
     def required_capacity(self, rate_per_second: float) -> float:
         """Capacity (requests/cycle) needed to hold the latency target."""
@@ -602,6 +679,19 @@ class LatencySimulator:
     def true_points(
         self, phase: Phase, rate_per_second: float
     ) -> List[ConfigPoint]:
+        if perf.FAST:
+            # capacity / required is the same division the scalar
+            # ``qos_of`` performs, on the same capacity value, so each
+            # point is bit-identical.
+            required = self.required_capacity(rate_per_second)
+            return [
+                ConfigPoint(
+                    config=config,
+                    speedup=capacity / required,
+                    cost_rate=cost_rate,
+                )
+                for config, capacity, cost_rate in self._capacity_entries(phase)
+            ]
         return [
             ConfigPoint(
                 config=config,
@@ -655,7 +745,7 @@ class LatencySimulator:
                 current_config = config
                 leg_cycles = entry.fraction * self.interval_cycles
                 stall_penalty = min(stall / max(leg_cycles, 1.0), 0.5)
-                ipc = self.model.ipc(phase, config)
+                ipc = self._ipc_of(phase, config)
                 service_rate = ipc / self.app.instructions_per_request
                 capacity += entry.fraction * service_rate * (1.0 - stall_penalty)
                 leg_qos = self.qos_of(phase, config, rate) * (1.0 - stall_penalty)

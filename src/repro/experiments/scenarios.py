@@ -302,20 +302,30 @@ def compare_allocators(
     app_names: Optional[Sequence[str]] = None,
     intervals: int = DEFAULT_INTERVALS,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Fig. 7 / Table III: all four allocators on every application.
 
-    Returns ``results[allocator_name][app_name]``.
+    Returns ``results[allocator_name][app_name]``.  Every (app,
+    allocator) cell is independent and explicitly seeded, so ``jobs``
+    only changes wall-clock time, never the results.
     """
+    # Imported here: stats imports this module for run_app_with_allocator.
+    from repro.experiments.stats import CellSpec, run_cells
+
     names = list(app_names) if app_names is not None else list(APP_NAMES)
+    specs = [
+        CellSpec(app_name=app_name, kind=kind, intervals=intervals, seed=seed)
+        for app_name in names
+        for kind, _ in ALLOCATOR_KINDS
+    ]
+    cell_results = iter(run_cells(specs, jobs=jobs))
     results: Dict[str, Dict[str, RunResult]] = {
         label: {} for _, label in ALLOCATOR_KINDS
     }
     for app_name in names:
-        for kind, label in ALLOCATOR_KINDS:
-            results[label][app_name] = run_app_with_allocator(
-                app_name, kind, intervals=intervals, seed=seed
-            )
+        for _, label in ALLOCATOR_KINDS:
+            results[label][app_name] = next(cell_results)
     return results
 
 
@@ -331,6 +341,7 @@ def compare_architectures(
     app_names: Optional[Sequence[str]] = None,
     intervals: int = DEFAULT_INTERVALS,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Fig. 10: coarse vs fine grain × race vs adaptive.
 
@@ -338,24 +349,33 @@ def compare_architectures(
     little (1S/128KB) cores; its race-to-idle variant cannot switch
     cores at all and must race the big one.
     """
+    from repro.experiments.stats import CellSpec, run_cells
+
     names = list(app_names) if app_names is not None else list(APP_NAMES)
-    coarse = coarse_grain_configs()
+    coarse = tuple(coarse_grain_configs())
+    specs = []
+    for app_name in names:
+        for grain, kind, _ in ARCHITECTURE_KINDS:
+            candidates = coarse if grain == "coarse" else None
+            if grain == "coarse" and kind == "race":
+                # A fixed heterogeneous machine races the big core only.
+                candidates = (BIG_CONFIG,)
+            specs.append(
+                CellSpec(
+                    app_name=app_name,
+                    kind=kind,
+                    intervals=intervals,
+                    seed=seed,
+                    candidates=candidates,
+                )
+            )
+    cell_results = iter(run_cells(specs, jobs=jobs))
     results: Dict[str, Dict[str, RunResult]] = {
         label: {} for _, _, label in ARCHITECTURE_KINDS
     }
     for app_name in names:
-        for grain, kind, label in ARCHITECTURE_KINDS:
-            candidates = coarse if grain == "coarse" else None
-            if grain == "coarse" and kind == "race":
-                # A fixed heterogeneous machine races the big core only.
-                candidates = [BIG_CONFIG]
-            results[label][app_name] = run_app_with_allocator(
-                app_name,
-                kind,
-                intervals=intervals,
-                candidates=candidates,
-                seed=seed,
-            )
+        for _, _, label in ARCHITECTURE_KINDS:
+            results[label][app_name] = next(cell_results)
     return results
 
 

@@ -1,17 +1,30 @@
-"""Multi-seed statistics for the closed-loop experiments.
+"""Multi-seed statistics and the parallel sweep executor.
 
 Single runs carry seed-dependent noise (measurement noise, exploration
 choices).  This module repeats an experiment across seeds and reports
 mean and spread, so claims like "CASH lands at 1.2x optimal" come with
 error bars.
+
+Experiment grids are embarrassingly parallel: every (application,
+allocator, seed) cell is an independent simulation with an explicit
+seed.  :func:`run_cells` maps a list of :class:`CellSpec` over a
+process pool and returns results in spec order, so a parallel sweep is
+byte-for-byte identical to the serial one — only faster.  ``jobs=1``
+(or a single cell) runs inline with no pool at all.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.vcore import VCoreConfig
 from repro.experiments.harness import RunResult
 from repro.experiments.scenarios import run_app_with_allocator
 
@@ -23,6 +36,9 @@ class Summary:
     values: tuple
 
     def __post_init__(self) -> None:
+        # Accept any iterable of numbers; freeze it as a tuple so the
+        # dataclass stays hashable and the statistics stay stable.
+        object.__setattr__(self, "values", tuple(self.values))
         if not self.values:
             raise ValueError("a summary needs at least one value")
 
@@ -40,6 +56,15 @@ class Summary:
         )
 
     @property
+    def median(self) -> float:
+        """Middle value (average of the middle two for even counts)."""
+        ordered = sorted(self.values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[middle])
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    @property
     def min(self) -> float:
         return min(self.values)
 
@@ -49,6 +74,56 @@ class Summary:
 
     def __str__(self) -> str:
         return f"{self.mean:.4f} ± {self.std:.4f}"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent experiment cell of a sweep grid.
+
+    Frozen and fully value-typed so it pickles cleanly into worker
+    processes; the explicit ``seed`` is what makes a parallel sweep
+    reproduce the serial one exactly.
+    """
+
+    app_name: str
+    kind: str
+    intervals: int = 1000
+    seed: int = 0
+    candidates: Optional[Tuple[VCoreConfig, ...]] = None
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Run one cell (module-level so process pools can pickle it)."""
+    return run_app_with_allocator(
+        spec.app_name,
+        spec.kind,
+        intervals=spec.intervals,
+        candidates=spec.candidates,
+        seed=spec.seed,
+    )
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def run_cells(
+    specs: Sequence[CellSpec], jobs: Optional[int] = None
+) -> List[RunResult]:
+    """Run every cell; results come back in spec order regardless of
+    completion order (``ProcessPoolExecutor.map`` preserves input
+    order), so downstream reports are byte-stable across job counts.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(specs) <= 1:
+        return [run_cell(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(run_cell, specs))
 
 
 @dataclass(frozen=True)
@@ -67,23 +142,21 @@ def run_across_seeds(
     kind: str,
     seeds: Sequence[int] = (0, 1, 2),
     intervals: int = 1000,
+    jobs: Optional[int] = 1,
 ) -> SeededResult:
     """Run one experiment cell across several seeds."""
     if not seeds:
         raise ValueError("need at least one seed")
-    costs: List[float] = []
-    violations: List[float] = []
-    for seed in seeds:
-        result = run_app_with_allocator(
-            app_name, kind, intervals=intervals, seed=seed
-        )
-        costs.append(result.cost_dollars)
-        violations.append(result.violation_percent)
+    specs = [
+        CellSpec(app_name=app_name, kind=kind, intervals=intervals, seed=seed)
+        for seed in seeds
+    ]
+    results = run_cells(specs, jobs=jobs)
     return SeededResult(
         app_name=app_name,
         allocator_kind=kind,
-        cost=Summary(tuple(costs)),
-        violation_percent=Summary(tuple(violations)),
+        cost=Summary(tuple(r.cost_dollars for r in results)),
+        violation_percent=Summary(tuple(r.violation_percent for r in results)),
         seeds=tuple(seeds),
     )
 
@@ -93,9 +166,111 @@ def seed_stability_report(
     kind: str = "cash",
     seeds: Sequence[int] = (0, 1, 2),
     intervals: int = 1000,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, SeededResult]:
-    """Stability of one allocator across seeds for several apps."""
-    return {
-        name: run_across_seeds(name, kind, seeds=seeds, intervals=intervals)
-        for name in app_names
+    """Stability of one allocator across seeds for several apps.
+
+    The whole (app × seed) grid is submitted as one flat batch so a
+    process pool can overlap everything, then regrouped per app.
+    """
+    names = list(app_names)
+    specs = [
+        CellSpec(app_name=name, kind=kind, intervals=intervals, seed=seed)
+        for name in names
+        for seed in seeds
+    ]
+    results = run_cells(specs, jobs=jobs)
+    report: Dict[str, SeededResult] = {}
+    stride = len(tuple(seeds))
+    for index, name in enumerate(names):
+        cell_results = results[index * stride : (index + 1) * stride]
+        report[name] = SeededResult(
+            app_name=name,
+            allocator_kind=kind,
+            cost=Summary(tuple(r.cost_dollars for r in cell_results)),
+            violation_percent=Summary(
+                tuple(r.violation_percent for r in cell_results)
+            ),
+            seeds=tuple(seeds),
+        )
+    return report
+
+
+def sweep(
+    app_names: Sequence[str],
+    kinds: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    intervals: int = 1000,
+    jobs: Optional[int] = None,
+) -> Tuple[Dict[str, Dict[str, SeededResult]], Dict[str, object]]:
+    """The full (app × allocator × seed) grid, parallel over cells.
+
+    Returns ``(results[kind][app], timing)`` where ``timing`` is a
+    JSON-ready report (wall seconds, jobs, cell count, cells/second)
+    suitable for :func:`record_bench_perf`.
+    """
+    names = list(app_names)
+    kind_list = list(kinds)
+    seed_list = list(seeds)
+    specs = [
+        CellSpec(app_name=name, kind=kind, intervals=intervals, seed=seed)
+        for name in names
+        for kind in kind_list
+        for seed in seed_list
+    ]
+    if jobs is None:
+        jobs = default_jobs()
+    start = time.perf_counter()
+    results = run_cells(specs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    grouped: Dict[str, Dict[str, SeededResult]] = {k: {} for k in kind_list}
+    stride = len(seed_list)
+    cursor = 0
+    for name in names:
+        for kind in kind_list:
+            cell_results = results[cursor : cursor + stride]
+            cursor += stride
+            grouped[kind][name] = SeededResult(
+                app_name=name,
+                allocator_kind=kind,
+                cost=Summary(tuple(r.cost_dollars for r in cell_results)),
+                violation_percent=Summary(
+                    tuple(r.violation_percent for r in cell_results)
+                ),
+                seeds=tuple(seed_list),
+            )
+    timing: Dict[str, object] = {
+        "cells": len(specs),
+        "jobs": jobs,
+        "intervals": intervals,
+        "wall_seconds": round(elapsed, 4),
+        "cells_per_second": round(len(specs) / elapsed, 4) if elapsed else None,
+        "apps": names,
+        "kinds": kind_list,
+        "seeds": seed_list,
     }
+    return grouped, timing
+
+
+def record_bench_perf(
+    section: str,
+    payload: Dict[str, object],
+    path: str = "BENCH_PERF.json",
+) -> Path:
+    """Merge ``payload`` under ``section`` in the timing report file.
+
+    Read-modify-write with an atomic replace, so repeated benchmark
+    runs accumulate sections instead of clobbering each other.
+    """
+    target = Path(path)
+    data: Dict[str, object] = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    scratch.replace(target)
+    return target

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.vcore import VCoreConfig
 from repro.runtime.controller import DeadbeatController
 from repro.runtime.kalman import KalmanEstimator, PhaseChangeDetector
@@ -150,6 +151,14 @@ class CASHRuntime:
         self.optimizer = LearningOptimizer(
             configs=configs, cost_rates=cost_rates
         )
+        # Incremental view of the learner's operating points: patched
+        # in place as estimates change instead of being rebuilt (with
+        # its lower envelope) from fresh dicts every interval.
+        self.learned_points = self.optimizer.learned_points(self.learner)
+        # First occurrence wins, matching ``self.configs.index(...)``.
+        self._cost_rate_of: Dict[VCoreConfig, float] = {}
+        for config, rate in zip(self.configs, cost_rates):
+            self._cost_rate_of.setdefault(config, rate)
         self._initial_epsilon = epsilon if explore else 0.0
         self._reopen_epsilon = min(0.10, self._initial_epsilon)
         self.exploration = ExplorationPolicy(
@@ -266,11 +275,35 @@ class CASHRuntime:
         exceeds every learned estimate the schedule clamps to the
         believed-fastest configuration (``saturated``).
         """
-        estimates = self.learner.qos_estimates()
+        if perf.FAST:
+            # Fast path: the incremental LearnedPoints view (with its
+            # cached envelope) replaces per-step dict materialization.
+            # Identical floats flow through an identical solve.
+            points = self.learned_points
+
+            def solve(target: float) -> Tuple[float, Schedule]:
+                return self.optimizer.optimal_cost_points(points, target)
+
+            def fallback(target: float) -> Schedule:
+                return self.optimizer.schedule_points(points, target)
+
+            believed_max = self.learner.max_qos_estimate()
+        else:
+            # Reference path: the seed's work profile — fresh estimate
+            # dicts, point lists and hulls on every solve.
+            estimates = self.learner.qos_estimates()
+
+            def solve(target: float) -> Tuple[float, Schedule]:
+                return self.optimizer.optimal_cost(estimates, target)
+
+            def fallback(target: float) -> Schedule:
+                return self.optimizer.schedule(estimates, target)
+
+            believed_max = max(estimates.values(), default=0.0)
         try:
-            _, schedule = self.optimizer.optimal_cost(estimates, target_qos)
+            _, schedule = solve(target_qos)
         except ValueError:
-            schedule = self.optimizer.schedule(estimates, target_qos)
+            schedule = fallback(target_qos)
         if schedule.saturated:
             # The demand exceeds every *believed* QoS.  Trusting the
             # estimates here is a trap: a pessimistically-wrong estimate
@@ -283,7 +316,7 @@ class CASHRuntime:
             # every saturated interval probed, the probes themselves
             # would hold QoS down and keep the controller saturated — a
             # self-sustaining cycle.
-            best_believed = max(estimates.values(), default=0.0)
+            best_believed = believed_max
             # The bonus scale must reflect what success would look like
             # (the target), not the possibly-crushed estimates.
             scale = max(best_believed, target_qos)
@@ -315,9 +348,7 @@ class CASHRuntime:
                 probe = ConfigPoint(
                     config=candidate,
                     speedup=self.learner.qos_estimate(candidate),
-                    cost_rate=self.optimizer.cost_rates[
-                        self.configs.index(candidate)
-                    ],
+                    cost_rate=self._cost_rate_of[candidate],
                 )
                 schedule = Schedule(
                     entries=(
@@ -329,7 +360,7 @@ class CASHRuntime:
                 return schedule, candidate
         explore_fraction = 0.15
         boosted = target_qos / (1.0 - explore_fraction)
-        has_slack = max(estimates.values(), default=0.0) >= boosted
+        has_slack = believed_max >= boosted
         explored = (
             self.exploration.maybe_explore(speedup_demand) if has_slack else None
         )
@@ -342,15 +373,13 @@ class CASHRuntime:
             # configuration has that much slack (a tight phase), the
             # runtime does not explore at all.
             try:
-                _, exploit = self.optimizer.optimal_cost(estimates, boosted)
+                _, exploit = solve(boosted)
             except ValueError:
-                exploit = self.optimizer.schedule(estimates, boosted)
+                exploit = fallback(boosted)
             point = ConfigPoint(
                 config=explored,
                 speedup=self.learner.qos_estimate(explored),
-                cost_rate=self.optimizer.cost_rates[
-                    self.configs.index(explored)
-                ],
+                cost_rate=self._cost_rate_of[explored],
             )
             entries = [ScheduleEntry(point, explore_fraction)] + [
                 ScheduleEntry(e.point, e.fraction * (1.0 - explore_fraction))
@@ -378,7 +407,11 @@ class CASHRuntime:
         # clamp never drops below the goal itself: if the whole table
         # is (wrongly) pessimistic, the unmet goal is exactly the
         # pressure that keeps the saturation probes searching.
-        max_qhat = max(self.learner.qos_estimates().values())
+        max_qhat = (
+            self.learner.max_qos_estimate()
+            if perf.FAST
+            else max(self.learner.qos_estimates().values())
+        )
         max_useful = max(1.05 * max_qhat, self.qos_goal)
         last = self.decisions[-1] if self.decisions else None
         if phase_change:

@@ -102,3 +102,6 @@ class GridSmoothingLearner(SpeedupLearner):
             )
             predicted = measured_qos * self._prior[config] / source_prior
             estimate.qos = (1.0 - weight) * estimate.qos + weight * predicted
+        # Propagation touches an unbounded neighbourhood; signal a full
+        # refresh rather than enumerating every moved configuration.
+        self.invalidate_estimates()

@@ -25,9 +25,11 @@ envelope (:func:`lower_envelope_cost`), which the oracle uses with
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.vcore import VCoreConfig
 
 
@@ -165,20 +167,61 @@ def solve_two_config(
 
 def _lower_hull(points: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
     """Lower convex hull of 2D points sorted by x (Andrew's monotone chain)."""
-    points = sorted(set(points))
+    return _lower_hull_presorted(sorted(set(points)))
+
+
+def _lower_hull_presorted(
+    points: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Monotone chain over already-sorted, already-deduplicated points.
+
+    The incremental optimizer keeps its candidate keys sorted across
+    steps, so the per-step hull rebuild pays only for this chain — the
+    exact same comparisons (and therefore the exact same hull) as
+    :func:`_lower_hull` on the equivalent input.
+    """
     if len(points) <= 2:
-        return points
+        return list(points)
     hull: List[Tuple[float, float]] = []
+    append = hull.append
+    pop = hull.pop
     for point in points:
+        px, py = point
         while len(hull) >= 2:
-            (x1, y1), (x2, y2) = hull[-2], hull[-1]
-            cross = (x2 - x1) * (point[1] - y1) - (y2 - y1) * (point[0] - x1)
+            x1, y1 = hull[-2]
+            x2, y2 = hull[-1]
+            cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
             if cross <= 0:
-                hull.pop()
+                pop()
             else:
                 break
-        hull.append(point)
+        append(point)
     return hull
+
+
+def compute_envelope(
+    points: Sequence[ConfigPoint],
+    idle: ConfigPoint = IDLE_POINT,
+) -> Tuple[List[Tuple[float, float]], Dict[Tuple[float, float], ConfigPoint]]:
+    """Lower convex envelope of {(s_k, c_k)} ∪ {idle}.
+
+    Returns ``(hull, best_at)``: the hull vertices sorted by speedup and
+    the map from each distinct (speedup, cost) pair back to the first
+    configuration point carrying it.  This is the target-independent
+    part of :func:`lower_envelope_cost`, split out so callers that solve
+    many targets against the same operating points (the oracle, the
+    runtime's per-step over/under solve) can reuse one envelope.
+    """
+    best_at: Dict[Tuple[float, float], ConfigPoint] = {}
+    for p in points:
+        key = (p.speedup, p.cost_rate)
+        if key not in best_at:
+            best_at[key] = p
+    idle_key = (idle.speedup, idle.cost_rate)
+    if idle_key not in best_at:
+        best_at[idle_key] = idle
+    hull = _lower_hull(list(best_at))
+    return hull, best_at
 
 
 def lower_envelope_cost(
@@ -192,20 +235,23 @@ def lower_envelope_cost(
     points reachable, so the optimum lies on the lower convex envelope
     of {(s_k, c_k)} ∪ {idle}.  Returns ``(cost_rate, schedule)``.
     Raises ``ValueError`` if the target exceeds every speedup.
+
+    When ``points`` carries a memoized envelope (an
+    :class:`~repro.sim.optables.OperatingPointTable` or a
+    :class:`LearnedPoints`) and the fast paths are on, the cached hull
+    is reused instead of being rebuilt per call.
     """
     if target_speedup < 0:
         raise ValueError(
             f"target_speedup must be non-negative, got {target_speedup}"
         )
-    if not points:
+    if not len(points):
         raise ValueError("need at least one configuration point")
-    all_points = list(points) + [idle]
-    best_at: Dict[Tuple[float, float], ConfigPoint] = {}
-    for p in all_points:
-        key = (p.speedup, p.cost_rate)
-        if key not in best_at:
-            best_at[key] = p
-    hull = _lower_hull([(p.speedup, p.cost_rate) for p in best_at.values()])
+    cached = getattr(points, "envelope", None)
+    if cached is not None and perf.FAST:
+        hull, best_at = cached(idle)
+    else:
+        hull, best_at = compute_envelope(points, idle)
     max_speed = hull[-1][0]
     if target_speedup > max_speed + 1e-12:
         raise ValueError(
@@ -228,6 +274,182 @@ def lower_envelope_cost(
     # target equals the single hull point (hull of length 1).
     point = best_at[hull[0]]
     return point.cost_rate, Schedule(entries=(ScheduleEntry(point, 1.0),))
+
+
+class LearnedPoints:
+    """A live, incrementally-maintained view of a learner's raw-QoS points.
+
+    The seed runtime rebuilt the full ``ConfigPoint`` list (and the
+    lower hull) from fresh ``qos_estimates()`` dictionaries on every
+    step — ~130 dataclass constructions and two hull sorts per control
+    interval.  A Q-learning update only touches the one or two
+    configurations that actually executed, so this view keeps the point
+    list materialized and patches exactly the entries whose estimates
+    changed (tracked by the learner's ``estimates_version`` counter and
+    per-config change log).  The lower envelope is likewise cached and
+    recomputed only when some estimate moved since it was last built.
+
+    Points are expressed in *raw QoS units* (q̂_k, not ŝ_k) — the units
+    the CASH runtime solves in — so changes to the base-speed estimate
+    alone do not invalidate anything.
+
+    With :data:`repro.perf.FAST` off, every access rebuilds from
+    scratch, reproducing the reference engine's behaviour for A/B
+    benchmarking.
+    """
+
+    def __init__(
+        self,
+        learner: "SpeedupLearnerLike",
+        configs: Sequence[VCoreConfig],
+        cost_rates: Sequence[float],
+    ) -> None:
+        if len(configs) != len(cost_rates):
+            raise ValueError(
+                f"{len(configs)} configs but {len(cost_rates)} cost rates"
+            )
+        if not configs:
+            raise ValueError("need at least one configuration")
+        self._learner = learner
+        self._configs = list(configs)
+        self._cost_rates = list(cost_rates)
+        self._index: Dict[VCoreConfig, int] = {}
+        for position, config in enumerate(self._configs):
+            self._index.setdefault(config, position)
+        self._version: Optional[int] = None
+        self._points: List[ConfigPoint] = []
+        self._envelopes: Dict[tuple, tuple] = {}
+        # Dedup-key index maintained across refreshes: the sorted list
+        # of unique (speedup, cost_rate) keys and, per key, the point
+        # positions carrying it (first position = first-wins owner).
+        # Keeping these incremental means a hull rebuild costs only the
+        # monotone chain, not a fresh dict + sort per step.
+        self._key_positions: Dict[Tuple[float, float], List[int]] = {}
+        self._keys_sorted: List[Tuple[float, float]] = []
+
+    def _rebuild_all(self) -> None:
+        learner = self._learner
+        self._points = [
+            ConfigPoint(
+                config=config,
+                speedup=learner.qos_estimate(config),
+                cost_rate=rate,
+            )
+            for config, rate in zip(self._configs, self._cost_rates)
+        ]
+        positions: Dict[Tuple[float, float], List[int]] = {}
+        for position, point in enumerate(self._points):
+            positions.setdefault(
+                (point.speedup, point.cost_rate), []
+            ).append(position)
+        self._key_positions = positions
+        self._keys_sorted = sorted(positions)
+
+    def _apply_change(self, position: int, new_point: ConfigPoint) -> None:
+        old_point = self._points[position]
+        self._points[position] = new_point
+        old_key = (old_point.speedup, old_point.cost_rate)
+        new_key = (new_point.speedup, new_point.cost_rate)
+        if old_key == new_key:
+            return
+        holders = self._key_positions[old_key]
+        holders.remove(position)
+        if not holders:
+            del self._key_positions[old_key]
+            index = bisect_left(self._keys_sorted, old_key)
+            del self._keys_sorted[index]
+        existing = self._key_positions.get(new_key)
+        if existing is None:
+            self._key_positions[new_key] = [position]
+            insort(self._keys_sorted, new_key)
+        else:
+            existing.append(position)
+
+    def _refresh(self) -> None:
+        version = getattr(self._learner, "estimates_version", None)
+        if not perf.FAST or version is None:
+            self._rebuild_all()
+            self._envelopes = {}
+            self._version = None
+            return
+        if self._version == version and self._points:
+            return
+        changed = (
+            self._learner.changes_since(self._version)
+            if self._version is not None and self._points
+            else None
+        )
+        if changed is None:
+            self._rebuild_all()
+        else:
+            for config in changed:
+                position = self._index.get(config)
+                if position is None:
+                    continue
+                self._apply_change(
+                    position,
+                    ConfigPoint(
+                        config=config,
+                        speedup=self._learner.qos_estimate(config),
+                        cost_rate=self._cost_rates[position],
+                    ),
+                )
+        self._envelopes = {}
+        self._version = version
+
+    def points(self) -> List[ConfigPoint]:
+        """The current operating points, patched up to date."""
+        self._refresh()
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[ConfigPoint]:
+        return iter(self.points())
+
+    def __getitem__(self, index):
+        return self.points()[index]
+
+    def envelope(self, idle: ConfigPoint = IDLE_POINT) -> tuple:
+        """Cached ``(hull, best_at)``, rebuilt only on estimate change.
+
+        The rebuild runs the monotone chain over the incrementally
+        maintained sorted key list — the same input (and so the same
+        hull) :func:`compute_envelope` derives from scratch — and
+        resolves first-wins owners for hull vertices only (the solver
+        never looks up points off the hull).
+        """
+        self._refresh()
+        cache_key = (idle.config, idle.speedup, idle.cost_rate)
+        cached = self._envelopes.get(cache_key)
+        if cached is None:
+            idle_key = (idle.speedup, idle.cost_rate)
+            if idle_key in self._key_positions:
+                keys: Sequence[Tuple[float, float]] = self._keys_sorted
+            else:
+                keys = list(self._keys_sorted)
+                insort(keys, idle_key)
+            hull = _lower_hull_presorted(keys)
+            best_at: Dict[Tuple[float, float], ConfigPoint] = {}
+            for vertex in hull:
+                holders = self._key_positions.get(vertex)
+                best_at[vertex] = (
+                    self._points[min(holders)] if holders else idle
+                )
+            cached = (hull, best_at)
+            self._envelopes[cache_key] = cached
+        return cached
+
+
+class SpeedupLearnerLike:  # pragma: no cover - typing aid only
+    """Protocol sketch of what :class:`LearnedPoints` needs."""
+
+    estimates_version: int
+
+    def qos_estimate(self, config: VCoreConfig) -> float: ...
+
+    def changes_since(self, version: int) -> Optional[List[VCoreConfig]]: ...
 
 
 class LearningOptimizer:
@@ -274,3 +496,19 @@ class LearningOptimizer:
         return lower_envelope_cost(
             self.points(speedups), target_speedup, self.idle
         )
+
+    def learned_points(self, learner: "SpeedupLearnerLike") -> LearnedPoints:
+        """An incremental point view bound to this catalogue's costs."""
+        return LearnedPoints(learner, self.configs, self.cost_rates)
+
+    def schedule_points(
+        self, points: Sequence[ConfigPoint], target_speedup: float
+    ) -> Schedule:
+        """Over/under schedule from pre-built points (no dict round-trip)."""
+        return solve_two_config(points, target_speedup, self.idle)
+
+    def optimal_cost_points(
+        self, points: Sequence[ConfigPoint], target_speedup: float
+    ) -> Tuple[float, Schedule]:
+        """Envelope LP from pre-built points (cache-aware via envelope)."""
+        return lower_envelope_cost(points, target_speedup, self.idle)

@@ -117,6 +117,9 @@ def restore_runtime(runtime: CASHRuntime, snapshot: Dict[str, Any]) -> None:
     learner._bank = new_bank
     learner._current_phase = current
     learner._estimates = new_bank[current]["table"]
+    # The estimate tables were replaced wholesale behind the learner's
+    # tracked mutators; incremental views must rebuild from scratch.
+    learner.invalidate_estimates()
     learner.set_base_qos(float(snapshot["learner"]["base_qos"]))
     learner.alpha = float(snapshot["learner"]["alpha"])
 

@@ -23,8 +23,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.vcore import VCoreConfig
 
 
@@ -84,6 +85,71 @@ class SpeedupLearner:
             {"level": base_qos, "signature": (), "table": self._estimates}
         ]
         self._current_phase = 0
+        # Estimate-change tracking for incremental consumers (the
+        # optimizer's LearnedPoints view).  ``_version`` counts distinct
+        # states of the raw-QoS estimate set; ``_change_log`` records,
+        # for each version step, which configuration's estimate moved
+        # (``None`` = everything, e.g. a table swap or global rescale).
+        # The log is bounded; consumers that fall off its tail get a
+        # full-rebuild signal instead of a per-config delta.
+        self._version = 0
+        self._change_log: List[Optional[VCoreConfig]] = []
+        self._log_base = 0
+        self._max_qos_cache: Optional[Tuple[int, float]] = None
+
+    CHANGE_LOG_LIMIT = 256
+    """Retained change-log entries before old deltas degrade to full
+    rebuilds (a consumer that lags this far behind rebuilds anyway)."""
+
+    def _record_change(self, config: Optional[VCoreConfig]) -> None:
+        """Note that ``config``'s estimate moved (None = all of them)."""
+        self._version += 1
+        self._change_log.append(config)
+        self._max_qos_cache = None
+        overflow = len(self._change_log) - self.CHANGE_LOG_LIMIT
+        if overflow > 0:
+            del self._change_log[:overflow]
+            self._log_base += overflow
+
+    @property
+    def estimates_version(self) -> int:
+        """Monotone counter of raw-QoS estimate states."""
+        return self._version
+
+    def changes_since(self, version: int) -> Optional[List[VCoreConfig]]:
+        """Configurations whose estimates moved since ``version``.
+
+        Returns ``[]`` when nothing changed, a list of configurations
+        for a small delta, or ``None`` when the caller must rebuild from
+        scratch (table swap, global rescale, or a delta older than the
+        retained log).
+        """
+        if version == self._version:
+            return []
+        if version > self._version or version < self._log_base:
+            return None
+        entries = self._change_log[version - self._log_base :]
+        if any(entry is None for entry in entries):
+            return None
+        return list(entries)
+
+    def invalidate_estimates(self) -> None:
+        """Force incremental consumers to rebuild (external mutation).
+
+        Call after touching ``_estimates`` through any path the tracked
+        mutators don't cover — checkpoint restore, estimate smoothing.
+        """
+        self._record_change(None)
+
+    def max_qos_estimate(self) -> float:
+        """max_k q̂_k, cached against the estimates version."""
+        if perf.FAST:
+            cached = self._max_qos_cache
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+        value = max(estimate.qos for estimate in self._estimates.values())
+        self._max_qos_cache = (self._version, value)
+        return value
 
     @property
     def configs(self) -> List[VCoreConfig]:
@@ -116,6 +182,7 @@ class SpeedupLearner:
         except KeyError:
             raise KeyError(f"{config} is not a tracked configuration") from None
         self._step += 1
+        previous_qos = estimate.qos
         if estimate.visits == 0:
             # First observation replaces the prior outright.
             estimate.qos = measured_qos
@@ -125,6 +192,8 @@ class SpeedupLearner:
             )
         estimate.visits += 1
         estimate.last_visit = self._step
+        if estimate.qos != previous_qos:
+            self._record_change(config)
         return estimate.qos
 
     def rescale_on_phase_change(self, ratio: float) -> None:
@@ -145,6 +214,8 @@ class SpeedupLearner:
         for entry in self._bank:
             for estimate in entry["table"].values():  # type: ignore[union-attr]
                 estimate.qos *= ratio
+        if ratio != 1.0:
+            self._record_change(None)
 
     SIGNATURE_ABS_FLOOR = 0.005
     """Counter rates below this differ mostly by sampling noise."""
@@ -235,6 +306,7 @@ class SpeedupLearner:
                 blended if len(blended) == len(signature) else tuple(signature)
             )
             self._estimates = self._bank[best_index]["table"]  # type: ignore[assignment]
+            self._record_change(None)
             return True
         # Seed the fresh table from the resource-proportional prior,
         # anchored to a *measured* QoS level (never to the base-speed
@@ -258,6 +330,7 @@ class SpeedupLearner:
         )
         self._current_phase = len(self._bank) - 1
         self._estimates = fresh
+        self._record_change(None)
         return False
 
     @property
@@ -346,7 +419,7 @@ class SpeedupLearner:
             )
         estimate = self._estimates[config]
         if scale is None:
-            scale = max(e.qos for e in self._estimates.values())
+            scale = self.max_qos_estimate()
         bonus = (
             exploration_weight * scale / math.sqrt(estimate.visits + 1.0)
         )

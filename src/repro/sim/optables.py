@@ -1,0 +1,182 @@
+"""Phase-keyed operating-point tables with a process-global LRU cache.
+
+Every consumer of the analytic model's ground truth — the harness's
+``true_points``, the oracle's per-phase envelope, the QoS-target rule,
+the race/convex baseline constructions — ultimately needs the same
+object: the list of :class:`~repro.runtime.optimizer.ConfigPoint`
+operating points of one phase over one configuration space under one
+cost model.  The seed engine recomputed that table scalar-by-scalar in
+each of those places; this module computes it once (with the vectorized
+:meth:`~repro.sim.perfmodel.PerformanceModel.ipc_grid` kernel) and
+memoizes it process-wide, keyed by the *values* of all four inputs
+(``Phase``, ``PerformanceModel`` and ``CostModel`` are frozen
+dataclasses, so value-hashing is exact and safe across instances).
+
+Tables also memoize their lower convex envelope, so an oracle that
+solves Eqn. 5 on the same phase a thousand times pays for one hull.
+
+With :data:`repro.perf.FAST` disabled the cache is bypassed and tables
+are rebuilt with the original scalar loop — the reference path used by
+the equivalence tests and the speed benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro import perf
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
+from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
+from repro.runtime.optimizer import ConfigPoint, IDLE_POINT, compute_envelope
+from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
+from repro.workloads.phase import Phase
+
+
+class OperatingPointTable:
+    """Immutable per-phase operating points with memoized derived views.
+
+    Behaves as a ``Sequence[ConfigPoint]`` (the harness hands it to
+    allocators as ``true_points``), and additionally offers O(1) IPC
+    lookup by configuration, the table's maximum QoS, and a cached
+    lower convex envelope keyed by the idle point.
+    """
+
+    __slots__ = ("points", "_ipc", "max_qos", "_envelopes")
+
+    def __init__(self, points: Tuple[ConfigPoint, ...]) -> None:
+        if not points:
+            raise ValueError("an operating-point table needs at least one point")
+        self.points: Tuple[ConfigPoint, ...] = tuple(points)
+        self._ipc: Dict[VCoreConfig, float] = {
+            point.config: point.speedup for point in self.points
+        }
+        self.max_qos: float = max(point.speedup for point in self.points)
+        self._envelopes: Dict[
+            Tuple[Optional[VCoreConfig], float, float], tuple
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[ConfigPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    def get_ipc(self, config: VCoreConfig) -> Optional[float]:
+        """The table's QoS (IPC) for ``config``, or None if absent."""
+        return self._ipc.get(config)
+
+    def envelope(self, idle: ConfigPoint = IDLE_POINT) -> tuple:
+        """Cached ``(hull, best_at)`` lower envelope for this table."""
+        key = (idle.config, idle.speedup, idle.cost_rate)
+        cached = self._envelopes.get(key)
+        if cached is None:
+            cached = compute_envelope(self.points, idle)
+            self._envelopes[key] = cached
+        return cached
+
+
+def build_table_scalar(
+    phase: Phase,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> OperatingPointTable:
+    """Reference scalar construction (one ``ipc()`` call per config)."""
+    return OperatingPointTable(
+        tuple(
+            ConfigPoint(
+                config=config,
+                speedup=model.ipc(phase, config),
+                cost_rate=config.cost_rate(cost_model),
+            )
+            for config in space
+        )
+    )
+
+
+def build_table_vectorized(
+    phase: Phase,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> OperatingPointTable:
+    """Whole-grid construction through the vectorized IPC kernel."""
+    ipc = model.ipc_grid(phase, space).ravel()
+    return OperatingPointTable(
+        tuple(
+            ConfigPoint(
+                config=config,
+                speedup=float(ipc[index]),
+                cost_rate=config.cost_rate(cost_model),
+            )
+            for index, config in enumerate(space)
+        )
+    )
+
+
+_CACHE_LOCK = threading.Lock()
+_TABLE_CACHE: "OrderedDict[tuple, OperatingPointTable]" = OrderedDict()
+_TABLE_CACHE_MAXSIZE = 4096
+_HITS = 0
+_MISSES = 0
+
+
+def _cache_key(
+    phase: Phase,
+    model: PerformanceModel,
+    space: ConfigurationSpace,
+    cost_model: CostModel,
+) -> tuple:
+    return (phase, model, space.slice_counts, space.l2_sizes_kb, cost_model)
+
+
+def operating_point_table(
+    phase: Phase,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> OperatingPointTable:
+    """The memoized operating-point table for one (phase, space) pair."""
+    global _HITS, _MISSES
+    if not perf.FAST:
+        return build_table_scalar(phase, model, space, cost_model)
+    key = _cache_key(phase, model, space, cost_model)
+    with _CACHE_LOCK:
+        table = _TABLE_CACHE.get(key)
+        if table is not None:
+            _TABLE_CACHE.move_to_end(key)
+            _HITS += 1
+            return table
+    table = build_table_vectorized(phase, model, space, cost_model)
+    with _CACHE_LOCK:
+        _MISSES += 1
+        _TABLE_CACHE[key] = table
+        _TABLE_CACHE.move_to_end(key)
+        while len(_TABLE_CACHE) > _TABLE_CACHE_MAXSIZE:
+            _TABLE_CACHE.popitem(last=False)
+    return table
+
+
+def cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-global table cache."""
+    with _CACHE_LOCK:
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "size": len(_TABLE_CACHE),
+            "maxsize": _TABLE_CACHE_MAXSIZE,
+        }
+
+
+def cache_clear() -> None:
+    """Drop every memoized table (benchmarks and tests)."""
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        _TABLE_CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

@@ -28,7 +28,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.arch.cache import mean_l2_hit_delay
+from repro.arch.cache import mean_l2_hit_delay, mean_l2_hit_delay_array
 from repro.arch.params import CacheParams, SliceParams
 from repro.arch.params import DEFAULT_CACHE_PARAMS, DEFAULT_SLICE_PARAMS
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
@@ -108,30 +108,66 @@ class PerformanceModel:
         phase: Phase,
         space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
     ) -> np.ndarray:
-        """IPC over the whole configuration grid.
+        """IPC over the whole configuration grid, in one NumPy shot.
 
         Returns an array of shape ``(len(slice_counts), len(l2_sizes))``
         — rows are Slice counts, columns are L2 sizes — matching the
         axes of the Fig. 1 contour plots.
+
+        Every arithmetic step mirrors the scalar :meth:`ipc` in operand
+        order, so each grid cell is bit-identical to the per-config
+        scalar evaluation (a property test enforces this).
         """
-        grid = np.empty((len(space.slice_counts), len(space.l2_sizes_kb)))
-        for i, slices in enumerate(space.slice_counts):
-            for j, l2_kb in enumerate(space.l2_sizes_kb):
-                grid[i, j] = self.ipc(phase, VCoreConfig(slices, l2_kb))
-        return grid
+        slices = np.array(space.slice_counts, dtype=float)[:, np.newaxis]
+        l2_kb = np.array(space.l2_sizes_kb, dtype=int)[np.newaxis, :]
+        ilp = phase.ilp
+
+        # Compute side (peak_ipc, vectorized over the Slice axis).
+        saturating = ilp * slices / (slices + ilp - 1.0)
+        extent = np.where(
+            slices == 1.0, 0.0, 0.66 * (np.sqrt(slices) - 1.0) + 0.34
+        )
+        penalty = 1.0 + phase.comm_penalty * extent
+        fetch_bound = slices * self.slice_params.fetch_width
+        peak = np.minimum(saturating / penalty, fetch_bound)
+        compute_cpi = 1.0 / peak
+
+        # Memory side (memory_cpi, vectorized over the full grid).
+        traffic = phase.mem_refs_per_inst
+        l1_miss = phase.l1_miss_rate
+        if traffic == 0.0 or l1_miss == 0.0:
+            memory_cpi = 0.0
+        else:
+            banks = l2_kb // self.cache_params.l2_bank.size_kb
+            hit_fraction = phase.l2_hit_fraction_array(l2_kb)
+            l2_delay = mean_l2_hit_delay_array(
+                banks, slices, self.cache_params
+            )
+            average_miss_cost = l2_delay + (1.0 - hit_fraction) * (
+                self.slice_params.memory_delay
+            )
+            mlp = np.minimum(
+                phase.mlp * np.sqrt(slices),
+                slices * self.slice_params.max_inflight_loads,
+            )
+            memory_cpi = traffic * l1_miss * average_miss_cost / mlp
+
+        return 1.0 / (compute_cpi + memory_cpi)
 
     def best_config(
         self,
         phase: Phase,
         space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
     ) -> Tuple[VCoreConfig, float]:
-        """Highest-IPC configuration for ``phase``."""
-        best: Tuple[VCoreConfig, float] = (space[0], -1.0)
-        for config in space:
-            value = self.ipc(phase, config)
-            if value > best[1]:
-                best = (config, value)
-        return best
+        """Highest-IPC configuration for ``phase``.
+
+        Grid argmax; ties resolve to the first configuration in space
+        order, exactly as the original scalar scan did.
+        """
+        grid = self.ipc_grid(phase, space)
+        flat = grid.ravel()
+        winner = int(np.argmax(flat))
+        return space[winner], float(flat[winner])
 
     def local_maxima(
         self,
@@ -140,15 +176,19 @@ class PerformanceModel:
         tolerance: float = 1e-9,
     ) -> List[VCoreConfig]:
         """Configurations whose IPC beats all grid neighbors."""
-        maxima = []
-        for config in space:
-            value = self.ipc(phase, config)
-            if all(
-                value >= self.ipc(phase, neighbor) - tolerance
-                for neighbor in space.neighbors(config)
-            ):
-                maxima.append(config)
-        return maxima
+        grid = self.ipc_grid(phase, space)
+        # Pad with -inf so edge cells compare against a neighbor that
+        # can never win, mirroring the scalar "all existing neighbors"
+        # semantics.
+        padded = np.pad(grid, 1, constant_values=-np.inf)
+        is_max = (
+            (grid >= padded[:-2, 1:-1] - tolerance)
+            & (grid >= padded[2:, 1:-1] - tolerance)
+            & (grid >= padded[1:-1, :-2] - tolerance)
+            & (grid >= padded[1:-1, 2:] - tolerance)
+        )
+        flat = is_max.ravel()
+        return [space[i] for i in np.flatnonzero(flat)]
 
 
 DEFAULT_PERF_MODEL = PerformanceModel()

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Phase:
@@ -134,6 +136,24 @@ class Phase:
                 captured = fraction
         return captured
 
+    def l2_hit_fraction_array(self, l2_kb: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`l2_hit_fraction` over an array of L2 sizes.
+
+        Pure table lookup (no arithmetic), so each element equals the
+        scalar result exactly.
+        """
+        if np.any(l2_kb <= 0):
+            raise ValueError("l2_kb must be positive")
+        if not self.working_set:
+            return np.zeros_like(l2_kb, dtype=float)
+        sizes = np.array([size for size, _ in self.working_set])
+        fractions = np.array([0.0] + [frac for _, frac in self.working_set])
+        # Number of working-set knees that fit entirely in each L2 size;
+        # `side='right'` makes an exact fit count as captured, matching
+        # the scalar `l2_kb >= size_kb` comparison.
+        captured = np.searchsorted(sizes, l2_kb, side="right")
+        return fractions[captured]
+
     @property
     def instructions(self) -> float:
         return self.instructions_m * 1e6
@@ -167,6 +187,13 @@ class PhasedApplication:
         self.qos_kind = qos_kind
         self.description = description
         self.instructions_per_request = instructions_per_request
+        # Phases are immutable after construction, so the total (a hot
+        # quantity in the phase walker) is computed exactly once, with
+        # the same left-to-right summation order as the original
+        # per-call computation.
+        self._total_instructions = sum(
+            phase.instructions for phase in self.phases
+        )
 
     def __len__(self) -> int:
         return len(self.phases)
@@ -179,7 +206,7 @@ class PhasedApplication:
 
     @property
     def total_instructions(self) -> float:
-        return sum(phase.instructions for phase in self.phases)
+        return self._total_instructions
 
     def phase_at_instruction(self, instruction: float) -> Tuple[int, Phase]:
         """Phase index and phase containing the given instruction offset.

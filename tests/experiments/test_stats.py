@@ -45,3 +45,33 @@ class TestRunAcrossSeeds:
     def test_rejects_empty_seeds(self):
         with pytest.raises(ValueError):
             run_across_seeds("hmmer", "optimal", seeds=())
+
+
+class TestSummaryMedian:
+    def test_odd_count(self):
+        assert Summary(values=(3.0, 1.0, 2.0)).median == 2.0
+
+    def test_even_count_averages_middle_two(self):
+        assert Summary(values=(4.0, 1.0, 3.0, 2.0)).median == 2.5
+
+    def test_single_value(self):
+        assert Summary(values=(7.0,)).median == 7.0
+
+    def test_robust_to_outlier_unlike_mean(self):
+        summary = Summary(values=(1.0, 1.0, 1.0, 100.0))
+        assert summary.median == 1.0
+        assert summary.mean > 20.0
+
+
+class TestSummaryCoercion:
+    def test_accepts_list_and_freezes_to_tuple(self):
+        summary = Summary(values=[1.0, 2.0])
+        assert summary.values == (1.0, 2.0)
+        assert isinstance(summary.values, tuple)
+
+    def test_accepts_generator(self):
+        summary = Summary(values=(v for v in (1.0, 2.0, 3.0)))
+        assert summary.mean == 2.0
+
+    def test_hashable_after_coercion(self):
+        assert hash(Summary(values=[1.0, 2.0])) == hash(Summary(values=(1.0, 2.0)))
