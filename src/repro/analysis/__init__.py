@@ -1,0 +1,59 @@
+"""Domain-aware static analysis for the CASH reproduction.
+
+``repro.analysis`` is the review-time half of the repo's correctness
+story.  The runtime half — fixed-seed fast/scalar equivalence replays,
+byte-stable parallel sweeps — catches determinism and parity bugs when
+the right test runs; this package catches the same classes of bug
+*structurally*, on every ``repro lint`` invocation, before a test ever
+needs to fire.
+
+Rule families (see the sibling modules for the hazards each protects
+against):
+
+* :mod:`repro.analysis.determinism` — unseeded RNGs, wall-clock and
+  environment reads in the engine, set-iteration order leaks,
+  ``id()``-keyed containers.
+* :mod:`repro.analysis.parity` — every ``repro.perf.FAST`` branch must
+  keep both its fast and its scalar reference twin.
+* :mod:`repro.analysis.numerics` — exact float equality, mutable
+  default arguments, numpy alias shadowing.
+* :mod:`repro.analysis.units` — the ``Annotated`` unit vocabulary
+  (cycles / instructions / dollars) and the additive-mixing checker.
+
+The framework lives in :mod:`repro.analysis.core`; the committed
+findings baseline that lets CI gate only *new* violations lives in
+:mod:`repro.analysis.baseline`; the ``repro lint`` wiring in
+:mod:`repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import determinism, numerics, parity, units
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    check_file,
+    scan_paths,
+)
+
+ALL_RULES: List[Rule] = [
+    *determinism.RULES,
+    *parity.RULES,
+    *numerics.RULES,
+    *units.RULES,
+]
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "check_file",
+    "scan_paths",
+]

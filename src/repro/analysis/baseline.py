@@ -1,0 +1,121 @@
+"""Findings baseline: CI gates only *new* lint violations.
+
+The baseline is a committed JSON file mapping stable fingerprints to
+the findings that existed when it was last updated.  ``repro lint``
+fails only on findings absent from the baseline, so adopting a new rule
+never requires a big-bang cleanup: the existing debt is recorded,
+reviewed and ratcheted down, while every *new* violation is blocked at
+review time.
+
+Fingerprints are independent of line numbers — they hash the file path,
+the rule id, the stripped source line, and a per-(path, rule, line-text)
+occurrence index — so unrelated edits that shift code up or down do not
+churn the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+
+def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
+    """Stable fingerprint per finding (occurrence-indexed for duplicates)."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    result: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "|".join(
+                (finding.path, finding.rule, finding.snippet, str(occurrence))
+            ).encode("utf-8")
+        ).hexdigest()[:16]
+        result.append((finding, digest))
+    return result
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Findings split against a baseline."""
+
+    new: List[Finding]
+    known: List[Finding]
+    stale: List[str]
+    """Baseline fingerprints with no matching finding any more —
+    fixed debt waiting for ``--update-baseline`` to retire it."""
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Fingerprint -> recorded finding from a baseline file.
+
+    A missing file is an empty baseline; a malformed one is an error —
+    silently ignoring a corrupt gate would disable it.
+    """
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValueError(f"{path} is not a version-{BASELINE_VERSION} lint baseline")
+    entries: Dict[str, Dict[str, object]] = {}
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path} contains a malformed baseline entry")
+        entries[str(entry["fingerprint"])] = entry
+    return entries
+
+
+def diff_against_baseline(
+    findings: Iterable[Finding], baseline_path: Path
+) -> BaselineDiff:
+    baseline = load_baseline(baseline_path)
+    new: List[Finding] = []
+    known: List[Finding] = []
+    matched = set()
+    for finding, digest in fingerprints(findings):
+        if digest in baseline:
+            known.append(finding)
+            matched.add(digest)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - matched)
+    return BaselineDiff(new=new, known=known, stale=stale)
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Serialize findings as baseline JSON (sorted, newline-terminated)."""
+    entries: List[Dict[str, str]] = [
+        {
+            "fingerprint": digest,
+            "path": finding.path,
+            "rule": finding.rule,
+            "snippet": finding.snippet,
+            "message": finding.message,
+        }
+        for finding, digest in fingerprints(findings)
+    ]
+    entries.sort(
+        key=lambda entry: (entry["path"], entry["rule"], entry["fingerprint"])
+    )
+    payload: Dict[str, object] = {
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> None:
+    path.write_text(render_baseline(findings), encoding="utf-8")

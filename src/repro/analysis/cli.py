@@ -1,0 +1,145 @@
+"""The ``repro lint`` subcommand.
+
+Runs every registered rule over the given paths (default: ``src``),
+gates the result against the committed findings baseline, and reports
+in human-readable text or machine-readable JSON.
+
+Exit codes: ``0`` — no findings beyond the baseline; ``1`` — new
+findings (or, with ``--strict-stale``, retired debt the baseline still
+records); ``2`` — usage errors (missing paths, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.analysis import ALL_RULES
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    diff_against_baseline,
+    fingerprints,
+    write_baseline,
+)
+from repro.analysis.core import Finding, scan_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"findings baseline file (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: every finding fails the gate",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-stale",
+        action="store_true",
+        help="also fail when the baseline records findings that no "
+        "longer exist (keeps the committed debt honest)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="anchor for repo-relative paths in reports and fingerprints "
+        "(default: current directory)",
+    )
+
+
+def _emit_json(findings: List[Finding], stream: TextIO) -> None:
+    entries = [
+        {
+            "path": finding.path,
+            "line": finding.line,
+            "column": finding.column,
+            "rule": finding.rule,
+            "message": finding.message,
+            "snippet": finding.snippet,
+            "fingerprint": digest,
+        }
+        for finding, digest in fingerprints(findings)
+    ]
+    json.dump({"version": 1, "findings": entries}, stream, indent=2)
+    stream.write("\n")
+
+
+def run_lint(
+    args: argparse.Namespace, stream: Optional[TextIO] = None
+) -> int:
+    out = stream if stream is not None else sys.stdout
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    root = Path(args.root) if args.root else Path.cwd()
+    findings = scan_paths(paths, ALL_RULES, root=root)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        write_baseline(findings, baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}", file=out
+        )
+        return 0
+
+    new: List[Finding]
+    known: List[Finding]
+    stale: List[str]
+    if args.no_baseline:
+        new, known, stale = findings, [], []
+    else:
+        try:
+            diff = diff_against_baseline(findings, baseline_path)
+        except ValueError as error:
+            print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+        new, known, stale = diff.new, diff.known, diff.stale
+
+    if args.format == "json":
+        _emit_json(new, out)
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+            if finding.snippet:
+                print(f"    {finding.snippet}", file=out)
+        summary = (
+            f"{len(new)} new finding(s), {len(known)} baselined, "
+            f"{len(stale)} stale baseline entrie(s)"
+        )
+        print(summary, file=out)
+        if stale:
+            print(
+                "stale entries record already-fixed debt; run "
+                "'repro lint --update-baseline' to retire them",
+                file=out,
+            )
+
+    if new:
+        return 1
+    if stale and args.strict_stale:
+        return 1
+    return 0

@@ -1,0 +1,210 @@
+"""Core of the ``repro lint`` framework: findings, rules, file scanning.
+
+The framework is deliberately small and stdlib-only.  A :class:`Rule`
+inspects one parsed file (a :class:`FileContext`) and yields
+:class:`Finding` objects; the runner walks a set of paths, parses each
+``.py`` file once, annotates the AST with parent links, and hands the
+context to every registered rule.
+
+Two cross-cutting mechanisms live here:
+
+* **Pragmas** — a finding on a line whose source contains
+  ``lint: allow(<rule-id>)`` is suppressed at the source.  This is the
+  *sentinel allowlist*: intentional violations (e.g. the exact
+  ``refs == 0.0`` guards in ``sim/perfmodel.py``) carry an inline,
+  reviewable justification instead of an entry in an opaque side file.
+* **Scoping** — a rule may declare ``scoped_dirs``; it then only runs on
+  files having one of those directory names on their path.  The
+  determinism rules use this to patrol ``sim/``, ``runtime/`` and
+  ``baselines/`` — the engine code whose outputs must be bit-stable —
+  without outlawing wall clocks in benchmark timing code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
+
+_PRAGMA_PATTERN = re.compile(r"lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    snippet: str
+
+    @property
+    def sort_key(self) -> "tuple[str, int, int, str]":
+        return (self.path, self.line, self.column, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` and :attr:`description`, optionally
+    restrict themselves with :attr:`scoped_dirs`, and implement
+    :meth:`check`.
+    """
+
+    id: str = ""
+    description: str = ""
+    #: Directory names (path components) this rule is limited to; ``None``
+    #: means the rule runs on every scanned file.
+    scoped_dirs: Optional[FrozenSet[str]] = None
+
+    def applies_to(self, context: "FileContext") -> bool:
+        if self.scoped_dirs is None:
+            return True
+        return bool(self.scoped_dirs.intersection(context.path_parts))
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class FileContext:
+    """One parsed source file, shared by every rule."""
+
+    def __init__(self, display_path: str, source: str) -> None:
+        self.display_path = display_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source)
+        self.path_parts: FrozenSet[str] = frozenset(
+            Path(display_path).parts[:-1]
+        )
+        annotate_parents(self.tree)
+        self._allowed: Dict[int, FrozenSet[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _PRAGMA_PATTERN.search(text)
+            if match:
+                rules = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                )
+                self._allowed[number] = rules
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_allowed(self, rule_id: str, line: int) -> bool:
+        """Whether a ``lint: allow(...)`` pragma covers this finding."""
+        rules = self._allowed.get(line)
+        return rules is not None and rule_id in rules
+
+    def finding(
+        self, rule: Rule, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.display_path,
+            line=line,
+            column=column,
+            rule=rule.id,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``.parent`` attribute to every node in the tree."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.parent = parent  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    parent = getattr(node, "parent", None)
+    return parent if isinstance(parent, ast.AST) else None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function/method definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def check_file(
+    context: FileContext, rules: Iterable[Rule]
+) -> List[Finding]:
+    """Run ``rules`` over one parsed file, honouring scopes and pragmas."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            if context.is_allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    The walk itself is deterministic (sorted recursion) so the lint's
+    own output obeys the discipline it enforces.
+    """
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule],
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``root`` anchors the repo-relative display paths (and therefore the
+    baseline fingerprints); it defaults to the current directory.  Files
+    with syntax errors produce a single ``parse-error`` finding rather
+    than aborting the scan.
+    """
+    anchor = (root or Path.cwd()).resolve()
+    rule_list = list(rules)
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        resolved = file_path.resolve()
+        try:
+            display = resolved.relative_to(anchor).as_posix()
+        except ValueError:
+            display = resolved.as_posix()
+        source = resolved.read_text(encoding="utf-8")
+        try:
+            context = FileContext(display, source)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule="parse-error",
+                    message=f"file does not parse: {error.msg}",
+                    snippet="",
+                )
+            )
+            continue
+        findings.extend(check_file(context, rule_list))
+    findings.sort(key=lambda finding: finding.sort_key)
+    return findings

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.analysis.units import Cycles, Dollars, DollarsPerHour
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.arch.vcore import VCoreConfig
 
@@ -42,7 +44,7 @@ class CostModel:
         if self.l2_bank_kb <= 0:
             raise ValueError("l2_bank_kb must be positive")
 
-    def rate(self, slices: int, l2_kb: int) -> float:
+    def rate(self, slices: int, l2_kb: int) -> DollarsPerHour:
         """$/hour for a virtual core of ``slices`` Slices and ``l2_kb`` KB L2."""
         if slices < 0:
             raise ValueError(f"slices must be non-negative, got {slices}")
@@ -54,7 +56,7 @@ class CostModel:
             + banks * self.l2_price_per_64kb_hour
         )
 
-    def rate_for(self, config: "VCoreConfig") -> float:
+    def rate_for(self, config: "VCoreConfig") -> DollarsPerHour:
         """$/hour for a :class:`~repro.arch.vcore.VCoreConfig`."""
         return self.rate(config.slices, config.l2_kb)
 
@@ -62,9 +64,9 @@ class CostModel:
         self,
         slices: int,
         l2_kb: int,
-        cycles: float,
+        cycles: Cycles,
         cycles_per_second: float = CYCLES_PER_SECOND,
-    ) -> float:
+    ) -> Dollars:
         """Dollar cost of holding a configuration for ``cycles`` cycles."""
         if cycles < 0:
             raise ValueError(f"cycles must be non-negative, got {cycles}")
@@ -74,7 +76,7 @@ class CostModel:
         return self.rate(slices, l2_kb) * hours
 
     @property
-    def minimum_rate(self) -> float:
+    def minimum_rate(self) -> DollarsPerHour:
         """$/hour of the minimal rentable unit (1 Slice + one bank)."""
         return self.rate(1, self.l2_bank_kb)
 

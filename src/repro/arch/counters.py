@@ -13,6 +13,12 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.analysis.units import (
+    CycleCount,
+    InstructionCount,
+    InstructionsPerCycle,
+)
+
 
 class CounterKind(enum.Enum):
     """Counter classes exposed by a Slice."""
@@ -76,13 +82,13 @@ class PerformanceCounters:
 class VCoreReading:
     """A synthesized virtual-core-level performance reading."""
 
-    instructions: int
-    cycles: int
-    ipc: float
+    instructions: InstructionCount
+    cycles: CycleCount
+    ipc: InstructionsPerCycle
     l2_miss_rate: float
     branch_mispredict_rate: float
-    window_start: int
-    window_end: int
+    window_start: CycleCount
+    window_end: CycleCount
 
 
 def synthesize_vcore_reading(

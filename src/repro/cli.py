@@ -8,11 +8,14 @@ Usage::
     python -m repro sweep --seeds 0 1 2 --jobs 8
     python -m repro export --outdir data/
     python -m repro overheads
+    python -m repro lint --format json
 
 ``figure`` prints the artefact's rows; ``export`` writes plottable
 ``.tsv`` series; ``sweep`` runs the full (app × allocator × seed) grid
 in parallel and records the timing in ``BENCH_PERF.json``.  Cells are
 independently seeded, so ``--jobs`` never changes any result.
+``lint`` runs the domain-aware static-analysis suite
+(:mod:`repro.analysis`) and gates against the committed baseline.
 """
 
 from __future__ import annotations
@@ -150,6 +153,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.figures import EXPORTERS, export_all
 
@@ -222,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("overheads", help="Section VI-A overhead microbenchmarks")
 
+    lint_parser = sub.add_parser(
+        "lint", help="domain-aware static analysis with a findings baseline"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+
     export_parser = sub.add_parser("export", help="write .tsv data files")
     export_parser.add_argument("--outdir", default="data")
     export_parser.add_argument(
@@ -239,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "overheads": _cmd_overheads,
         "export": _cmd_export,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -220,7 +220,7 @@ class CloudProvider:
         return max(configs, key=lambda c: c.tiles)
 
     def _noisy(self, value: float) -> float:
-        if self.noise_std_frac == 0.0:
+        if self.noise_std_frac <= 0.0:
             return value
         return max(value * (1.0 + self.rng.gauss(0.0, self.noise_std_frac)), 0.0)
 

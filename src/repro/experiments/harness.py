@@ -414,7 +414,7 @@ class ThroughputSimulator:
         )
 
     def _noisy(self, value: float, rng: random.Random) -> float:
-        if self.noise_std_frac == 0.0:
+        if self.noise_std_frac <= 0.0:
             return value
         return max(value * (1.0 + rng.gauss(0.0, self.noise_std_frac)), 0.0)
 
@@ -809,6 +809,6 @@ class LatencySimulator:
         )
 
     def _noisy(self, value: float, rng: random.Random) -> float:
-        if self.noise_std_frac == 0.0:
+        if self.noise_std_frac <= 0.0:
             return value
         return max(value * (1.0 + rng.gauss(0.0, self.noise_std_frac)), 0.0)

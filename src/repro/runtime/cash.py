@@ -232,7 +232,10 @@ class CASHRuntime:
         floor = max(measurement.overall_qos, self.qos_goal) / 64.0
         if self.estimator.estimate < floor:
             self.estimator.reset(floor)
-        if measurement.goal_scale > 0 and measurement.goal_scale != 1.0:
+        # Sentinel: goal_scale is exactly 1.0 iff the QoS normalization
+        # did not change this interval (the simulator computes it as a
+        # ratio of identical values); any other value is a real rescale.
+        if measurement.goal_scale > 0 and measurement.goal_scale != 1.0:  # lint: allow(float-eq)
             # Known change in the QoS normalization (e.g. request rate
             # moved): every configuration's margin scales by the same
             # measured factor.

@@ -56,7 +56,9 @@ class ConfigPoint:
     @property
     def efficiency(self) -> float:
         """Speedup per unit cost (the ``under`` selection metric)."""
-        if self.cost_rate == 0.0:
+        # cost_rate is validated non-negative, so <= is the exact guard
+        # without relying on float equality.
+        if self.cost_rate <= 0.0:
             return float("inf") if self.speedup > 0 else 0.0
         return self.speedup / self.cost_rate
 
@@ -123,7 +125,7 @@ def solve_two_config(
         )
     if not points:
         raise ValueError("need at least one configuration point")
-    if target_speedup == 0.0:
+    if target_speedup <= 0.0:
         return Schedule(entries=(ScheduleEntry(idle, 1.0),))
 
     # Exact hit: a single configuration meets the demand exactly.

@@ -214,7 +214,9 @@ class SpeedupLearner:
         for entry in self._bank:
             for estimate in entry["table"].values():  # type: ignore[union-attr]
                 estimate.qos *= ratio
-        if ratio != 1.0:
+        # Sentinel: ratio is exactly 1.0 iff no rescale happened, in
+        # which case no estimate moved and no change must be recorded.
+        if ratio != 1.0:  # lint: allow(float-eq)
             self._record_change(None)
 
     SIGNATURE_ABS_FLOOR = 0.005

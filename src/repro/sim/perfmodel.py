@@ -69,7 +69,9 @@ class PerformanceModel:
         """Average memory-stall cycles per instruction."""
         refs = phase.mem_refs_per_inst
         l1_miss = phase.l1_miss_rate
-        if refs == 0.0 or l1_miss == 0.0:
+        # Sentinel: phases with literally zero traffic pay zero memory
+        # CPI; rates are exact trace-derived constants, never computed.
+        if refs == 0.0 or l1_miss == 0.0:  # lint: allow(float-eq)
             return 0.0
         hit_fraction = phase.l2_hit_fraction(config.l2_kb)
         l2_delay = mean_l2_hit_delay(
@@ -125,7 +127,9 @@ class PerformanceModel:
         # Compute side (peak_ipc, vectorized over the Slice axis).
         saturating = ilp * slices / (slices + ilp - 1.0)
         extent = np.where(
-            slices == 1.0, 0.0, 0.66 * (np.sqrt(slices) - 1.0) + 0.34
+            # Sentinel: slice counts are small integers stored as
+            # floats, so == 1.0 is exact (single Slice = no fabric).
+            slices == 1.0, 0.0, 0.66 * (np.sqrt(slices) - 1.0) + 0.34  # lint: allow(float-eq)
         )
         penalty = 1.0 + phase.comm_penalty * extent
         fetch_bound = slices * self.slice_params.fetch_width
@@ -135,7 +139,9 @@ class PerformanceModel:
         # Memory side (memory_cpi, vectorized over the full grid).
         traffic = phase.mem_refs_per_inst
         l1_miss = phase.l1_miss_rate
-        if traffic == 0.0 or l1_miss == 0.0:
+        # Sentinel: same zero-traffic guard as the scalar memory_cpi —
+        # the twins must take this branch on identical inputs.
+        if traffic == 0.0 or l1_miss == 0.0:  # lint: allow(float-eq)
             memory_cpi = 0.0
         else:
             banks = l2_kb // self.cache_params.l2_bank.size_kb

@@ -1,0 +1,29 @@
+"""Shared helpers for the static-analysis test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ALL_RULES, RULES_BY_ID
+from repro.analysis.core import FileContext, check_file
+
+
+@pytest.fixture
+def lint_source():
+    """Lint a source snippet as if it lived at ``path``; return findings.
+
+    ``rules`` selects a subset by id (default: the full suite), so each
+    rule's tests assert both that their rule fires and that the snippet
+    is attributed to the *right* rule.
+    """
+
+    def run(source, path="src/repro/sim/module.py", rules=None):
+        context = FileContext(path, textwrap.dedent(source))
+        selected = (
+            [RULES_BY_ID[rule_id] for rule_id in rules]
+            if rules is not None
+            else ALL_RULES
+        )
+        return check_file(context, selected)
+
+    return run

@@ -1,0 +1,277 @@
+"""`repro lint` end to end: the CLI, the baseline gate, the repo tip.
+
+The acceptance scenarios for the suite live here:
+
+* the repo tip lints clean against the committed (empty) baseline;
+* injecting an unseeded ``random.random()`` into ``sim/`` makes the
+  gate exit nonzero;
+* deleting the scalar reference twin of a FAST-gated function makes
+  the gate exit nonzero.
+"""
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(argv, capsys):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestRepoTip:
+    def test_repo_lints_clean_against_committed_baseline(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code, _ = run_lint([], capsys)
+        assert code == 0
+
+    def test_json_findings_match_committed_baseline(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_lint(["--format", "json"], capsys)
+        assert code == 0
+        report = json.loads(out)
+        baseline = json.loads(
+            (REPO_ROOT / "LINT_BASELINE.json").read_text()
+        )
+        report_prints = {f["fingerprint"] for f in report["findings"]}
+        baseline_prints = {f["fingerprint"] for f in baseline["findings"]}
+        assert report_prints == baseline_prints
+
+    def test_committed_baseline_has_no_stale_entries(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code, _ = run_lint(["--strict-stale"], capsys)
+        assert code == 0
+
+
+def write_module(root, relative, source):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestGateFiresOnInjectedViolations:
+    def test_unseeded_random_in_sim_fails_the_gate(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "unseeded-random" in out
+
+    def test_deleted_scalar_twin_fails_the_gate(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/runtime/solver.py",
+            """
+            from repro import perf
+
+            def solve(x):
+                if perf.FAST:
+                    return fast_solve(x)
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "fast-parity" in out
+
+    def test_violation_fails_against_the_committed_baseline_too(
+        self, tmp_path, capsys
+    ):
+        """Same gate semantics when the real baseline is in force: the
+        injected finding is not in it, so it is new, so exit 1."""
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, _ = run_lint(
+            [
+                str(tmp_path),
+                "--baseline",
+                str(REPO_ROOT / "LINT_BASELINE.json"),
+            ],
+            capsys,
+        )
+        assert code == 1
+
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed).random()
+            """,
+        )
+        code, _ = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 0
+
+
+class TestBaselineWorkflow:
+    def test_update_then_gate_only_new_findings(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/legacy.py",
+            """
+            import random
+
+            def old_jitter():
+                return random.random()
+            """,
+        )
+        baseline = tmp_path / "baseline.json"
+        code, _ = run_lint(
+            [str(tmp_path), "--baseline", str(baseline), "--update-baseline"],
+            capsys,
+        )
+        assert code == 0
+        recorded = json.loads(baseline.read_text())
+        assert len(recorded["findings"]) == 1
+
+        # The recorded debt passes the gate...
+        code, _ = run_lint([str(tmp_path), "--baseline", str(baseline)], capsys)
+        assert code == 0
+
+        # ...but a new violation on top of it does not.
+        write_module(
+            tmp_path,
+            "pkg/sim/fresh.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        code, out = run_lint(
+            [str(tmp_path), "--baseline", str(baseline)], capsys
+        )
+        assert code == 1
+        assert "wall-clock" in out
+        assert "legacy.py" not in out
+
+    def test_stale_entries_reported_and_strict_stale_fails(
+        self, tmp_path, capsys
+    ):
+        module = write_module(
+            tmp_path,
+            "pkg/sim/legacy.py",
+            """
+            import random
+
+            def old_jitter():
+                return random.random()
+            """,
+        )
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            [str(tmp_path), "--baseline", str(baseline), "--update-baseline"],
+            capsys,
+        )
+        module.write_text("def old_jitter(rng):\n    return rng.random()\n")
+        code, out = run_lint(
+            [str(tmp_path), "--baseline", str(baseline)], capsys
+        )
+        assert code == 0
+        assert "1 stale" in out
+        code, _ = run_lint(
+            [str(tmp_path), "--baseline", str(baseline), "--strict-stale"],
+            capsys,
+        )
+        assert code == 1
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99}')
+        (tmp_path / "module.py").write_text("x = 1\n")
+        code = main(
+            ["lint", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        code = main(["lint", str(tmp_path / "nope")])
+        assert code == 2
+
+
+class TestReportFormats:
+    def test_text_report_names_rule_and_location(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [str(tmp_path), "--no-baseline", "--root", str(tmp_path)], capsys
+        )
+        assert code == 1
+        assert "pkg/sim/noise.py:5" in out
+        assert "[unseeded-random]" in out
+
+    def test_json_report_is_machine_readable(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 1
+        report = json.loads(out)
+        (finding,) = report["findings"]
+        assert finding["rule"] == "unseeded-random"
+        assert finding["path"] == "pkg/sim/noise.py"
+        assert finding["fingerprint"]
+
+    def test_parse_error_is_reported_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "parse-error" in out

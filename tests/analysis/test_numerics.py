@@ -1,0 +1,184 @@
+"""Trigger / no-trigger fixtures for the numeric hygiene rules."""
+
+
+class TestFloatEquality:
+    def test_eq_against_float_literal_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def check(value):
+                return value == 0.5
+            """
+        )
+        assert [f.rule for f in findings] == ["float-eq"]
+
+    def test_noteq_against_float_literal_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def check(ratio):
+                if ratio != 1.0:
+                    return True
+                return False
+            """
+        )
+        assert [f.rule for f in findings] == ["float-eq"]
+
+    def test_chained_comparison_triggers_once_per_float_op(self, lint_source):
+        findings = lint_source(
+            """
+            def check(a, b):
+                return a == 0.0 or b == 0.0
+            """
+        )
+        assert [f.rule for f in findings] == ["float-eq", "float-eq"]
+
+    def test_pragma_allowlists_sentinel(self, lint_source):
+        findings = lint_source(
+            """
+            def memory_cpi(refs):
+                if refs == 0.0:  # lint: allow(float-eq)
+                    return 0.0
+                return 1.0 / refs
+            """
+        )
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_allowlist(self, lint_source):
+        findings = lint_source(
+            """
+            def memory_cpi(refs):
+                if refs == 0.0:  # lint: allow(wall-clock)
+                    return 0.0
+                return 1.0 / refs
+            """
+        )
+        assert [f.rule for f in findings] == ["float-eq"]
+
+    def test_int_literal_equality_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            def check(count):
+                return count == 0
+            """
+        )
+        assert findings == []
+
+    def test_tolerance_guard_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            def check(value):
+                return abs(value - 0.5) <= 1e-9 or value <= 0.0
+            """
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_list_default_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def collect(items=[]):
+                return items
+            """
+        )
+        assert [f.rule for f in findings] == ["mutable-default"]
+
+    def test_dict_constructor_default_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def collect(table=dict()):
+                return table
+            """
+        )
+        assert [f.rule for f in findings] == ["mutable-default"]
+
+    def test_kwonly_set_default_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def collect(*, seen={1, 2}):
+                return seen
+            """
+        )
+        assert [f.rule for f in findings] == ["mutable-default"]
+
+    def test_none_default_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            def collect(items=None):
+                if items is None:
+                    items = []
+                return items
+            """
+        )
+        assert findings == []
+
+    def test_immutable_defaults_are_clean(self, lint_source):
+        findings = lint_source(
+            """
+            def collect(count=3, name="x", pair=(1, 2)):
+                return count, name, pair
+            """
+        )
+        assert findings == []
+
+
+class TestNumpyShadow:
+    def test_assignment_to_np_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def grid():
+                np = build_grid()
+                return np
+            """
+        )
+        assert [f.rule for f in findings] == ["numpy-shadow"]
+
+    def test_parameter_named_np_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def scale(np, factor):
+                return np * factor
+            """
+        )
+        assert [f.rule for f in findings] == ["numpy-shadow"]
+
+    def test_foreign_import_as_np_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            import numbers as np
+            """
+        )
+        assert [f.rule for f in findings] == ["numpy-shadow"]
+
+    def test_loop_target_np_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            def walk(rows):
+                for np in rows:
+                    yield np
+            """
+        )
+        assert [f.rule for f in findings] == ["numpy-shadow"]
+
+    def test_canonical_import_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+            import numpy
+
+            def grid():
+                return np.zeros(3) + numpy.ones(3)
+            """
+        )
+        assert findings == []
+
+    def test_other_names_are_clean(self, lint_source):
+        findings = lint_source(
+            """
+            def scale(matrix, factor):
+                result = matrix * factor
+                return result
+            """
+        )
+        assert findings == []

@@ -1,0 +1,99 @@
+"""Structural rules of the mypy strict ratchet in pyproject.toml.
+
+The ratchet is the ``[[tool.mypy.overrides]]`` module list: seed-era
+modules exempted from strict typing.  These tests keep it honest —
+entries must name real modules (no zombie exemptions), stay sorted and
+unique (reviewable diffs), and never cover the modules that are
+contractually strict-clean.  When mypy itself is installed (CI's lint
+job), the final test runs it for real.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Modules that must never be exempted from strict typing.
+ALWAYS_STRICT_PREFIXES = ("repro.analysis", "repro.perf")
+
+
+def load_ratchet():
+    if tomllib is None:
+        pytest.skip("tomllib requires Python 3.11+")
+    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    overrides = config["tool"]["mypy"]["overrides"]
+    ratchet = [
+        entry
+        for entry in overrides
+        if entry.get("ignore_errors") and isinstance(entry["module"], list)
+    ]
+    assert len(ratchet) == 1, "expected exactly one ratchet override block"
+    return ratchet[0]["module"]
+
+
+def module_exists(module):
+    relative = Path(*module.split("."))
+    return (
+        (REPO_ROOT / "src" / relative).with_suffix(".py").exists()
+        or (REPO_ROOT / "src" / relative / "__init__.py").exists()
+    )
+
+
+class TestRatchetStructure:
+    def test_every_entry_names_an_existing_module(self):
+        ratchet = load_ratchet()
+        zombies = [m for m in ratchet if not module_exists(m)]
+        assert zombies == [], (
+            "ratchet lists modules that no longer exist; remove them: "
+            f"{zombies}"
+        )
+
+    def test_entries_are_sorted_and_unique(self):
+        ratchet = load_ratchet()
+        assert ratchet == sorted(set(ratchet))
+
+    def test_strict_clean_modules_are_not_exempt(self):
+        ratchet = load_ratchet()
+        offenders = [
+            m
+            for m in ratchet
+            if any(
+                m == prefix or m.startswith(prefix + ".")
+                for prefix in ALWAYS_STRICT_PREFIXES
+            )
+        ]
+        assert offenders == [], (
+            "the analysis suite and the FAST switch must stay "
+            f"strict-clean, but the ratchet exempts {offenders}"
+        )
+
+    def test_mypy_config_is_strict(self):
+        if tomllib is None:
+            pytest.skip("tomllib requires Python 3.11+")
+        config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        mypy = config["tool"]["mypy"]
+        assert mypy["strict"] is True
+        assert mypy["files"] == ["src/repro"]
+
+
+class TestMypyRuns:
+    def test_mypy_passes_on_the_repo(self):
+        if shutil.which("mypy") is None:
+            pytest.skip("mypy is not installed in this environment")
+        result = subprocess.run(
+            [sys.executable, "-m", "mypy", "--no-error-summary"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

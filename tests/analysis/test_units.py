@@ -1,0 +1,105 @@
+"""The unit vocabulary and the unit-mixing rule."""
+
+from typing import get_type_hints
+
+from repro.analysis.units import (
+    CYCLES,
+    Cycles,
+    DollarsPerHour,
+    Instructions,
+    Unit,
+    UNIT_ALIASES,
+)
+
+
+class TestVocabulary:
+    def test_units_are_zero_cost_floats(self):
+        def pay(rate: DollarsPerHour, hours: float) -> float:
+            return rate * hours
+
+        assert pay(0.013, 2.0) == 0.026
+
+    def test_annotated_metadata_carries_the_unit(self):
+        def drain(cycles: Cycles) -> float:
+            return cycles
+
+        hints = get_type_hints(drain, include_extras=True)
+        assert CYCLES in hints["cycles"].__metadata__
+
+    def test_alias_table_is_consistent(self):
+        assert UNIT_ALIASES["Cycles"] == Unit("cycles").name
+        assert UNIT_ALIASES["Instructions"] == "instructions"
+        assert len(set(UNIT_ALIASES)) == len(UNIT_ALIASES)
+
+    def test_real_modules_accept_annotations(self):
+        from repro.arch.cost import DEFAULT_COST_MODEL
+
+        assert DEFAULT_COST_MODEL.rate(1, 64) > 0.0
+
+
+class TestUnitMixRule:
+    def test_adding_cycles_to_instructions_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.analysis.units import Cycles, Instructions
+
+            def wrong(cycles: Cycles, instructions: Instructions):
+                return cycles + instructions
+            """
+        )
+        assert [f.rule for f in findings] == ["unit-mix"]
+
+    def test_subtracting_mixed_units_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.analysis.units import Dollars, Cycles
+
+            def wrong(budget: Dollars, elapsed: Cycles):
+                return budget - elapsed
+            """
+        )
+        assert [f.rule for f in findings] == ["unit-mix"]
+
+    def test_annotated_local_variables_participate(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.analysis.units import Cycles, Instructions
+
+            def wrong(sample):
+                cycles: Cycles = sample.cycles
+                instructions: Instructions = sample.instructions
+                return instructions + cycles
+            """
+        )
+        assert [f.rule for f in findings] == ["unit-mix"]
+
+    def test_same_unit_addition_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.analysis.units import Cycles
+
+            def total(active: Cycles, idle: Cycles):
+                return active + idle
+            """
+        )
+        assert findings == []
+
+    def test_ratio_via_division_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.analysis.units import Cycles, Instructions
+
+            def ipc(instructions: Instructions, cycles: Cycles):
+                return instructions / cycles
+            """
+        )
+        assert findings == []
+
+    def test_unannotated_code_is_never_flagged(self, lint_source):
+        findings = lint_source(
+            """
+            def mystery(a, b):
+                return a + b
+            """
+        )
+        assert findings == []
