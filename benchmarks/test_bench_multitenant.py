@@ -7,13 +7,24 @@ the *provider*.  The same customer mix runs on the same 16x16 fabric
 under two fleet policies — every tenant racing its worst-case
 reservation vs every tenant running the CASH runtime — and we compare
 occupied footprint, tenant bills, and QoS.
+
+The speed benchmark pins the provider-loop fast paths (operating-point
+table cache, indexed fabric, heap queues): a 64-tenant, 500-interval
+run with fast paths on must beat the scalar reference by >= 3x while
+producing the identical ``ProviderReport``.  Timings are persisted to
+``BENCH_CLOUD.json`` (next to the engine's ``BENCH_PERF.json``) so
+runs can be compared across commits.
 """
+
+import time
 
 import pytest
 
+from repro import perf
 from repro.arch.fabric import Fabric
 from repro.cloud import CloudProvider, Tenant
 from repro.experiments.harness import qos_target_for
+from repro.experiments.stats import record_bench_cloud
 from repro.workloads.apps import get_app
 
 MIX = ["bzip", "hmmer", "sjeng", "lib", "omnetpp", "ferret"]
@@ -79,3 +90,84 @@ def test_provider_density(benchmark, announce):
     assert stats["cash"]["bills"] < stats["race"]["bills"]
     assert stats["race"]["viol"] == 0.0
     assert stats["cash"]["viol"] < 12.0
+
+    record_bench_cloud(
+        "density",
+        {
+            policy: {
+                "admitted": report.admitted,
+                "mean_utilization": round(report.mean_utilization, 4),
+                "mean_bill_rate": round(values["bills"], 4),
+                "mean_violation_percent": round(values["viol"], 2),
+                "mean_footprint_tiles": round(values["tiles"], 2),
+            }
+            for (policy, (_, report)), values in zip(
+                reports.items(), stats.values()
+            )
+        },
+    )
+
+
+def build_big_fleet(tenants=64, arrival_stride=3):
+    """A 64-tenant mixed fleet with staggered arrivals and departures."""
+    fleet = []
+    for index in range(tenants):
+        app = get_app(MIX[index % len(MIX)])
+        fleet.append(
+            Tenant(
+                tenant_id=index,
+                app=app,
+                qos_goal=qos_target_for(app),
+                policy="cash" if index % 2 == 0 else "race",
+                arrival_interval=index * arrival_stride,
+                departure_interval=(
+                    250 + index * 3 if index % 4 == 0 else None
+                ),
+            )
+        )
+    return fleet
+
+
+def run_big_fleet(intervals=500):
+    provider = CloudProvider(
+        fabric=Fabric(width=16, height=16), seed=11, overcommit=2.0
+    )
+    return provider.run(build_big_fleet(), intervals=intervals)
+
+
+@pytest.mark.benchmark(group="multitenant")
+def test_provider_loop_speed(benchmark, announce):
+    """Fast provider loop >= 3x the scalar reference, same report."""
+    with perf.fast_paths(False):
+        start = time.perf_counter()
+        reference = run_big_fleet()
+        reference_s = time.perf_counter() - start
+
+    def fast_run():
+        with perf.fast_paths(True):
+            return run_big_fleet()
+
+    start = time.perf_counter()
+    fast = benchmark.pedantic(fast_run, rounds=1, iterations=1)
+    fast_s = time.perf_counter() - start
+    speedup = reference_s / fast_s
+
+    announce("\n=== Provider loop: 64 tenants x 500 intervals (16x16) ===")
+    announce(f"scalar reference: {reference_s:8.3f} s")
+    announce(f"fast paths:       {fast_s:8.3f} s")
+    announce(f"speedup:          {speedup:8.1f}x")
+
+    assert fast == reference, "fast provider loop changed the report"
+    assert speedup >= 3.0
+
+    record_bench_cloud(
+        "provider_loop",
+        {
+            "tenants": 64,
+            "intervals": 500,
+            "fabric": "16x16",
+            "reference_seconds": round(reference_s, 3),
+            "fast_seconds": round(fast_s, 3),
+            "speedup": round(speedup, 2),
+        },
+    )

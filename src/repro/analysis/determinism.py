@@ -4,8 +4,9 @@ PR 1's equivalence guarantees — fast/scalar twins asserted
 bit-identical, sweeps byte-stable across ``--jobs`` — and the paper's
 timestamped counter network both assume the engine is a pure function
 of its seeds.  These rules patrol the directories whose outputs feed
-those guarantees (``sim/``, ``runtime/``, ``baselines/``) for the ways
-Python programs classically smuggle in nondeterminism:
+those guarantees (``sim/``, ``runtime/``, ``baselines/``, and — since
+the provider loop gained its own FAST-gated fast paths — ``cloud/``)
+for the ways Python programs classically smuggle in nondeterminism:
 
 * ``unseeded-random`` — calls through the module-level ``random.*`` (or
   legacy ``numpy.random.*``) global generators, whose state is shared,
@@ -36,7 +37,7 @@ from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.core import FileContext, Finding, Rule
 
-ENGINE_DIRS: FrozenSet[str] = frozenset({"sim", "runtime", "baselines"})
+ENGINE_DIRS: FrozenSet[str] = frozenset({"sim", "runtime", "baselines", "cloud"})
 
 _SEEDED_RANDOM_FACTORIES = frozenset(
     {"Random", "SystemRandom", "default_rng", "Generator", "SeedSequence"}

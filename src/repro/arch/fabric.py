@@ -10,6 +10,14 @@ is fixed by simply rescheduling Slices to virtual cores.
 This module provides spatial allocation: given a virtual-core request
 (S Slices, B banks) it carves a compact region out of the free tiles,
 preferring tiles adjacent to ones already chosen.
+
+With :data:`repro.perf.FAST` enabled the fabric answers utilization,
+free-count and seed-selection queries from an incrementally maintained
+per-kind free-position index (updated on every allocate/release) in
+O(1)/O(free) instead of rescanning all tiles; the scalar full-scan
+twins remain the reference path, and the index enumerates free
+positions in the exact row-major order the scans produce, so both
+modes are bit-identical.
 """
 
 from __future__ import annotations
@@ -18,6 +26,10 @@ import enum
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import perf
 
 from repro.arch.cache import CacheBank
 from repro.arch.network import Coordinate, manhattan
@@ -102,6 +114,19 @@ class Fabric:
         self.cache_params = cache_params
         self._tiles: Dict[Coordinate, Tile] = {}
         self._allocations: Dict[int, Allocation] = {}
+        # Incremental free-position index: one set of coordinates per
+        # tile kind, kept in lockstep with every ownership change, plus
+        # immutable per-kind totals.  The sets are only *consulted*
+        # under perf.FAST; the scalar full-scan paths stay the
+        # reference.
+        self._free_index: Dict[TileKind, Set[Coordinate]] = {
+            TileKind.SLICE: set(),
+            TileKind.L2_BANK: set(),
+        }
+        self._kind_totals: Dict[TileKind, int] = {
+            TileKind.SLICE: 0,
+            TileKind.L2_BANK: 0,
+        }
         next_slice = 0
         next_bank = 0
         for y in range(height):
@@ -118,6 +143,8 @@ class Fabric:
                     self._tiles[position] = Tile(
                         kind=TileKind.SLICE, position=position, slice_unit=unit
                     )
+                    self._free_index[TileKind.SLICE].add(position)
+                    self._kind_totals[TileKind.SLICE] += 1
                     next_slice += 1
                 else:
                     bank = CacheBank(
@@ -128,6 +155,8 @@ class Fabric:
                     self._tiles[position] = Tile(
                         kind=TileKind.L2_BANK, position=position, bank=bank
                     )
+                    self._free_index[TileKind.L2_BANK].add(position)
+                    self._kind_totals[TileKind.L2_BANK] += 1
                     next_bank += 1
 
     @property
@@ -140,17 +169,66 @@ class Fabric:
         except KeyError:
             raise KeyError(f"no tile at {position}") from None
 
+    def kind_total(self, kind: TileKind) -> int:
+        """How many tiles of ``kind`` the fabric has (free or not)."""
+        return self._kind_totals[kind]
+
     def count_free(self, kind: TileKind) -> int:
+        if perf.FAST:
+            return len(self._free_index[kind])
         return sum(
             1 for tile in self._tiles.values() if tile.kind is kind and tile.is_free
         )
 
     def _free_positions(self, kind: TileKind) -> List[Coordinate]:
+        if perf.FAST:
+            # ``_tiles`` is populated row-major (y outer, x inner), so
+            # sorting the free set by (y, x) reproduces the scalar
+            # scan's enumeration order exactly — allocation seed
+            # selection is bit-identical in both modes.
+            return sorted(self._free_index[kind], key=lambda p: (p[1], p[0]))
         return [
             position
             for position, tile in self._tiles.items()
             if tile.kind is kind and tile.is_free
         ]
+
+    def _best_seed(
+        self, need_slices: int, need_banks: int
+    ) -> Optional[Coordinate]:
+        """FAST seed search: the scalar scan's winner without growing.
+
+        Region growth traverses occupied tiles, so the region a seed
+        produces is simply the nearest free tiles of each kind and its
+        span is ``max(k-th smallest Manhattan distance to free Slices,
+        m-th smallest to free banks)`` — an integer computable for all
+        seeds at once.  ``argmin`` returns the first minimal entry and
+        the seed array is in row-major scan order, so the winner is
+        bit-identical to the scalar loop's first strictly-best seed.
+        """
+        seeds = self._free_positions(TileKind.SLICE)
+        if len(seeds) < need_slices:
+            return None
+        seed_arr = np.asarray(seeds, dtype=np.int64)
+        slice_distances = np.abs(
+            seed_arr[:, None, :] - seed_arr[None, :, :]
+        ).sum(axis=2)
+        spans = np.partition(slice_distances, need_slices - 1, axis=1)[
+            :, need_slices - 1
+        ]
+        if need_banks:
+            banks = self._free_positions(TileKind.L2_BANK)
+            if len(banks) < need_banks:
+                return None
+            bank_arr = np.asarray(banks, dtype=np.int64)
+            bank_distances = np.abs(
+                seed_arr[:, None, :] - bank_arr[None, :, :]
+            ).sum(axis=2)
+            bank_spans = np.partition(bank_distances, need_banks - 1, axis=1)[
+                :, need_banks - 1
+            ]
+            spans = np.maximum(spans, bank_spans)
+        return seeds[int(np.argmin(spans))]
 
     def _neighbors(self, position: Coordinate) -> List[Coordinate]:
         x, y = position
@@ -209,19 +287,24 @@ class Fabric:
                 f"{self.count_free(TileKind.L2_BANK)}"
             )
         best: Optional[Tuple[List[Coordinate], List[Coordinate]]] = None
-        best_span = None
-        for seed in self._free_positions(TileKind.SLICE):
-            region = self._grow_region(seed, need_slices, need_banks)
-            if region is None:
-                continue
-            slices, banks = region
-            span = max(
-                manhattan(seed, position) for position in slices + banks
-            )
-            if best_span is None or span < best_span:
-                best, best_span = region, span
-                if span <= 1:
-                    break
+        if perf.FAST:
+            seed = self._best_seed(need_slices, need_banks)
+            if seed is not None:
+                best = self._grow_region(seed, need_slices, need_banks)
+        else:
+            best_span = None
+            for seed in self._free_positions(TileKind.SLICE):
+                region = self._grow_region(seed, need_slices, need_banks)
+                if region is None:
+                    continue
+                slices, banks = region
+                span = max(
+                    manhattan(seed, position) for position in slices + banks
+                )
+                if best_span is None or span < best_span:
+                    best, best_span = region, span
+                    if span <= 1:
+                        break
         if best is None:
             raise FabricError(
                 f"fabric too fragmented for {config}; rescheduling of "
@@ -229,7 +312,9 @@ class Fabric:
             )
         slices, banks = best
         for position in slices + banks:
-            self._tiles[position].owner_vcore = vcore_id
+            tile = self._tiles[position]
+            tile.owner_vcore = vcore_id
+            self._free_index[tile.kind].discard(position)
         for position in slices:
             self._tiles[position].slice_unit.owner_vcore = vcore_id
         allocation = Allocation(
@@ -248,6 +333,7 @@ class Fabric:
         for position in allocation.positions:
             tile = self._tiles[position]
             tile.owner_vcore = None
+            self._free_index[tile.kind].add(position)
             if tile.slice_unit is not None:
                 tile.slice_unit.owner_vcore = None
 
@@ -268,7 +354,11 @@ class Fabric:
 
     def utilization(self) -> float:
         total = len(self._tiles)
-        used = sum(1 for tile in self._tiles.values() if not tile.is_free)
+        if perf.FAST:
+            free = sum(len(index) for index in self._free_index.values())
+            used = total - free
+        else:
+            used = sum(1 for tile in self._tiles.values() if not tile.is_free)
         return used / total if total else 0.0
 
     def defragment(self) -> int:

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run --app x264 --allocator cash --intervals 1000
     python -m repro figure tab3 --jobs 4
+    python -m repro figure multitenant --jobs 4
     python -m repro sweep --seeds 0 1 2 --jobs 8
     python -m repro export --outdir data/
     python -m repro overheads
@@ -35,7 +36,17 @@ from repro.experiments.scenarios import (
 )
 from repro.workloads.apps import APP_NAMES
 
-FIGURES = ("fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "tab3", "sec6a")
+FIGURES = (
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab3",
+    "sec6a",
+    "multitenant",
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -95,6 +106,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             intervals=args.intervals or 1000, jobs=args.jobs
         )
         print(per_app_table(results))
+    elif name == "multitenant":
+        from repro.experiments.report import provider_table
+        from repro.experiments.scenarios import multitenant_grid
+        from repro.experiments.stats import record_bench_cloud
+
+        reports, timing = multitenant_grid(
+            intervals=args.intervals or 300, jobs=args.jobs
+        )
+        print(provider_table(reports))
+        path = record_bench_cloud("multitenant_figure", timing)
+        print(
+            f"{timing['cells']} provider cells in "
+            f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s); "
+            f"timing recorded in {path}"
+        )
     elif name == "sec6a":
         return _cmd_overheads(args)
     else:  # pragma: no cover - argparse restricts choices
@@ -204,7 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_job_count,
         default=1,
-        help="worker processes for multi-cell figures (fig7/tab3/fig10)",
+        help=(
+            "worker processes for multi-cell figures "
+            "(fig7/tab3/fig10/multitenant)"
+        ),
     )
 
     sweep_parser = sub.add_parser(
@@ -241,7 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser = sub.add_parser("export", help="write .tsv data files")
     export_parser.add_argument("--outdir", default="data")
     export_parser.add_argument(
-        "--name", choices=sorted(set(FIGURES) - {"fig2", "sec6a"}), default=None
+        "--name",
+        choices=sorted(set(FIGURES) - {"fig2", "sec6a", "multitenant"}),
+        default=None,
     )
     return parser
 

@@ -60,10 +60,9 @@ class AdmissionController:
         )
 
     def _capacity(self, kind: TileKind) -> float:
-        total = sum(
-            1 for tile in self.fabric.tiles.values() if tile.kind is kind
-        )
-        return total * self.overcommit
+        # The per-kind tile total is fixed at fabric construction, so
+        # capacity is a lookup, not a scan over every tile.
+        return self.fabric.kind_total(kind) * self.overcommit
 
     def reserved(self, kind: TileKind) -> int:
         if kind is TileKind.SLICE:

@@ -19,14 +19,24 @@ paper's contrast with SMT); the shared resource is capacity, so the
 interesting provider-level outputs are density (tenants served),
 utilization, and revenue-per-tile — where CASH's habit of releasing
 unneeded tiles pays off.
+
+The provider loop is the engine's multi-tenant hot path.  Under
+:data:`repro.perf.FAST` it routes every ground-truth IPC query through
+the process-wide operating-point table cache (tenants running the same
+application phase share one table) and drains arrivals/departures from
+interval-keyed heaps; the scalar recompute-everything twins remain the
+reference, and fixed-seed runs are bit-identical in both modes.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
 from repro.arch.fabric import Fabric, FabricError
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
@@ -35,8 +45,10 @@ from repro.cloud.admission import AdmissionController, AdmissionDecision
 from repro.cloud.tenant import Tenant, TenantAccount
 from repro.experiments.harness import CASHAllocator, _PhaseWalker
 from repro.runtime.cash import LegObservation, QoSMeasurement
-from repro.runtime.optimizer import ConfigPoint, Schedule
+from repro.runtime.optimizer import ConfigPoint, Schedule, ScheduleEntry
+from repro.sim.optables import operating_point_table
 from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
+from repro.workloads.phase import Phase
 
 
 @dataclass
@@ -224,7 +236,14 @@ class CloudProvider:
             return value
         return max(value * (1.0 + self.rng.gauss(0.0, self.noise_std_frac)), 0.0)
 
-    def _true_points(self, phase) -> List[ConfigPoint]:
+    def _true_points(self, phase: Phase) -> Sequence[ConfigPoint]:
+        if perf.FAST:
+            # The memoized table carries the same points (bit-identical
+            # speedups, same order); every tenant in the same phase of
+            # the same application shares one table process-wide.
+            return operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            )
         return [
             ConfigPoint(
                 config=config,
@@ -233,6 +252,16 @@ class CloudProvider:
             )
             for config in self.space
         ]
+
+    def _ipc_of(self, phase: Phase, config: VCoreConfig) -> float:
+        """Model IPC, served from the operating-point table when fast."""
+        if perf.FAST:
+            ipc = operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            ).get_ipc(config)
+            if ipc is not None:
+                return ipc
+        return self.model.ipc(phase, config)
 
     def _run_tenant_interval(self, resident: _Resident) -> None:
         tenant = resident.tenant
@@ -261,8 +290,6 @@ class CloudProvider:
                 speedup=0.0,
                 cost_rate=existing.config.cost_rate(self.cost_model),
             )
-            from repro.runtime.optimizer import ScheduleEntry
-
             schedule = Schedule(entries=(ScheduleEntry(held, 1.0),))
             footprint = existing.config
 
@@ -285,7 +312,7 @@ class CloudProvider:
             config = entry.point.config
             executed, used, crossed = resident.walker.run_cycles(
                 leg_cycles,
-                lambda p: self.model.ipc(p, config),
+                lambda p, config=config: self._ipc_of(p, config),
                 stop_at_boundary=True,
             )
             total_instructions += executed
@@ -321,23 +348,67 @@ class CloudProvider:
         """Simulate ``intervals`` provider intervals for the tenants."""
         if intervals <= 0:
             raise ValueError(f"intervals must be positive, got {intervals}")
-        pending = sorted(tenants, key=lambda t: t.arrival_interval)
+        # Arrival queue.  The FAST path keeps a heap keyed by
+        # (arrival_interval, submission index); the reference path keeps
+        # the seed's stable sort, drained through a deque so even the
+        # scalar twin is O(n log n) instead of the old O(n²)
+        # ``list.pop(0)``.  ``sorted`` is stable, so both orders are
+        # identical tenant for tenant.
+        arrival_heap: List[Tuple[int, int, Tenant]] = []
+        pending: deque[Tenant] = deque()
+        if perf.FAST:
+            arrival_heap = [
+                (tenant.arrival_interval, order, tenant)
+                for order, tenant in enumerate(tenants)
+            ]
+            heapq.heapify(arrival_heap)
+        else:
+            pending = deque(sorted(tenants, key=lambda t: t.arrival_interval))
+        # Departure queue (FAST): pushed at admission, popped by
+        # interval, instead of rescanning every resident every interval.
+        departure_heap: List[Tuple[int, int]] = []
         accounts: Dict[int, TenantAccount] = {}
         rejected = 0
         utilization_sum = 0.0
 
         for interval in range(intervals):
             # Departures first, then arrivals.
-            for resident in list(self._residents.values()):
-                departure = resident.tenant.departure_interval
-                if departure is not None and interval >= departure:
-                    accounts[resident.tenant.tenant_id] = resident.account
-                    self._depart(resident.tenant.tenant_id)
-            while pending and pending[0].arrival_interval <= interval:
-                tenant = pending.pop(0)
+            if perf.FAST:
+                while departure_heap and departure_heap[0][0] <= interval:
+                    _, tenant_id = heapq.heappop(departure_heap)
+                    resident = self._residents.get(tenant_id)
+                    if resident is None:
+                        continue
+                    accounts[tenant_id] = resident.account
+                    self._depart(tenant_id)
+            else:
+                for resident in list(self._residents.values()):
+                    departure = resident.tenant.departure_interval
+                    if departure is not None and interval >= departure:
+                        accounts[resident.tenant.tenant_id] = resident.account
+                        self._depart(resident.tenant.tenant_id)
+            while True:
+                if perf.FAST:
+                    if not arrival_heap or arrival_heap[0][0] > interval:
+                        break
+                    tenant = heapq.heappop(arrival_heap)[2]
+                else:
+                    if not pending or pending[0].arrival_interval > interval:
+                        break
+                    tenant = pending.popleft()
                 decision = self._admit(tenant)
                 if decision is not None and not decision.admitted:
                     rejected += 1
+                elif (
+                    decision is not None
+                    and tenant.departure_interval is not None
+                ):
+                    # Consumed only by the FAST departure drain above;
+                    # the reference path scans residents instead.
+                    heapq.heappush(
+                        departure_heap,
+                        (tenant.departure_interval, tenant.tenant_id),
+                    )
 
             for resident in self._residents.values():
                 self._run_tenant_interval(resident)

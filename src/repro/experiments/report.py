@@ -71,6 +71,30 @@ def mean_violations(
     }
 
 
+def provider_table(reports: Mapping[tuple, object]) -> str:
+    """Render the multi-tenant grid: one row per provider cell.
+
+    ``reports`` maps ``(policy_mix, overcommit, seed)`` to a
+    :class:`~repro.cloud.provider.ProviderReport` (the shape
+    :func:`~repro.experiments.scenarios.multitenant_grid` returns).
+    """
+    header = (
+        f"{'mix':<6}{'over':>6}{'seed':>6}{'admit':>7}{'reject':>8}"
+        f"{'util %':>8}{'$/hr':>10}{'viol %':>8}{'defrag':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for (policy_mix, overcommit, seed), report in reports.items():
+        lines.append(
+            f"{policy_mix:<6}{overcommit:>6.2f}{seed:>6}"
+            f"{report.admitted:>7}{report.rejected:>8}"
+            f"{report.mean_utilization * 100:>8.1f}"
+            f"{report.revenue_rate:>10.4f}"
+            f"{report.mean_violation_percent:>8.1f}"
+            f"{report.defragmentations:>8}"
+        )
+    return "\n".join(lines)
+
+
 def timeseries_table(
     results: Mapping[str, RunResult],
     stride: int = 10,

@@ -8,7 +8,11 @@ reports:
 * :func:`compare_architectures` — Fig. 10: {coarse, fine} × {race,
   adaptive};
 * :func:`apache_timeseries` — Fig. 9: the oscillating-load apache run;
-* :func:`x264_timeseries` — Figs. 2 and 8: the x264 phase study.
+* :func:`x264_timeseries` — Figs. 2 and 8: the x264 phase study;
+* :func:`multitenant_grid` — the Sec. VI multi-tenant provider
+  economics: a (policy-mix × overcommit × seed) grid of
+  :class:`~repro.cloud.provider.CloudProvider` runs, sharded over the
+  same process pool as the single-tenant sweeps.
 """
 
 from __future__ import annotations
@@ -394,6 +398,154 @@ def x264_timeseries(
         labels[k]: run_app_with_allocator("x264", k, intervals=intervals, seed=seed)
         for k in kinds
     }
+
+
+PROVIDER_APP_MIX: Tuple[str, ...] = (
+    "bzip",
+    "hmmer",
+    "sjeng",
+    "lib",
+    "omnetpp",
+    "ferret",
+)
+"""The customer mix every provider cell cycles through (all throughput
+apps, so per-tenant QoS goals come from the paper's rule)."""
+
+PROVIDER_POLICY_MIXES: Tuple[str, ...] = ("race", "cash", "half")
+"""Fleet policies: every tenant racing its reservation, every tenant
+running CASH, or an alternating half-and-half mix."""
+
+
+def provider_mix(
+    policy_mix: str, tenants: int = 12
+) -> Tuple[Tuple[str, str], ...]:
+    """(app, policy) pairs for one fleet of ``tenants`` customers."""
+    if policy_mix not in PROVIDER_POLICY_MIXES:
+        raise ValueError(
+            f"policy_mix must be one of {PROVIDER_POLICY_MIXES}, "
+            f"got {policy_mix!r}"
+        )
+    if tenants <= 0:
+        raise ValueError(f"tenants must be positive, got {tenants}")
+    pairs = []
+    for index in range(tenants):
+        app_name = PROVIDER_APP_MIX[index % len(PROVIDER_APP_MIX)]
+        if policy_mix == "half":
+            policy = "cash" if index % 2 == 0 else "race"
+        else:
+            policy = policy_mix
+        pairs.append((app_name, policy))
+    return tuple(pairs)
+
+
+def run_provider_mix(
+    mix: Sequence[Tuple[str, str]],
+    intervals: int = 300,
+    seed: int = 0,
+    overcommit: float = 1.0,
+    fabric_width: int = 16,
+    fabric_height: int = 16,
+    arrival_stride: int = 5,
+    model: PerformanceModel = DEFAULT_PERF_MODEL,
+    space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+):
+    """Run one multi-tenant provider cell; returns a ProviderReport.
+
+    Tenant ``i`` runs ``mix[i]`` and arrives at interval
+    ``i * arrival_stride`` — everything is derived from the arguments,
+    so a cell is a pure function of its spec and parallel runs
+    reproduce serial ones exactly.
+    """
+    from repro.arch.fabric import Fabric
+    from repro.cloud.provider import CloudProvider
+    from repro.cloud.tenant import Tenant
+
+    tenants = []
+    for index, (app_name, policy) in enumerate(mix):
+        app = get_app(app_name)
+        tenants.append(
+            Tenant(
+                tenant_id=index,
+                app=app,
+                qos_goal=qos_target_for(app, model, space),
+                policy=policy,
+                arrival_interval=index * arrival_stride,
+            )
+        )
+    provider = CloudProvider(
+        fabric=Fabric(width=fabric_width, height=fabric_height),
+        model=model,
+        space=space,
+        overcommit=overcommit,
+        seed=seed,
+    )
+    return provider.run(tenants, intervals=intervals)
+
+
+def multitenant_grid(
+    policy_mixes: Sequence[str] = PROVIDER_POLICY_MIXES,
+    overcommits: Sequence[float] = (1.0, 1.5),
+    seeds: Sequence[int] = (0,),
+    tenants: int = 12,
+    intervals: int = 300,
+    fabric_width: int = 16,
+    fabric_height: int = 16,
+    jobs: Optional[int] = 1,
+):
+    """The provider-economics grid: (policy-mix × overcommit × seed).
+
+    Returns ``(reports, timing)`` where ``reports`` maps
+    ``(policy_mix, overcommit, seed)`` to its
+    :class:`~repro.cloud.provider.ProviderReport` and ``timing`` is a
+    JSON-ready wall-clock record for ``BENCH_CLOUD.json``.  Cells fan
+    out over the same process pool as the single-tenant sweeps; results
+    are collected in spec order, so ``jobs`` never changes any report.
+    """
+    import time
+
+    from repro.experiments.stats import (
+        ProviderCellSpec,
+        default_jobs,
+        run_cells,
+    )
+
+    if jobs is None:
+        jobs = default_jobs()
+    specs = [
+        ProviderCellSpec(
+            mix=provider_mix(policy_mix, tenants=tenants),
+            intervals=intervals,
+            seed=seed,
+            overcommit=overcommit,
+            fabric_width=fabric_width,
+            fabric_height=fabric_height,
+        )
+        for policy_mix in policy_mixes
+        for overcommit in overcommits
+        for seed in seeds
+    ]
+    start = time.perf_counter()
+    results = run_cells(specs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    reports = {}
+    cursor = iter(results)
+    for policy_mix in policy_mixes:
+        for overcommit in overcommits:
+            for seed in seeds:
+                reports[(policy_mix, overcommit, seed)] = next(cursor)
+    timing = {
+        "cells": len(specs),
+        "tenants": tenants,
+        "intervals": intervals,
+        "fabric": f"{fabric_width}x{fabric_height}",
+        "jobs": jobs,
+        "wall_seconds": round(elapsed, 4),
+        "cells_per_second": round(len(specs) / elapsed, 4) if elapsed else None,
+        "policy_mixes": list(policy_mixes),
+        "overcommits": list(overcommits),
+        "seeds": list(seeds),
+    }
+    return reports, timing
 
 
 def apache_timeseries(

@@ -11,6 +11,15 @@ seed.  :func:`run_cells` maps a list of :class:`CellSpec` over a
 process pool and returns results in spec order, so a parallel sweep is
 byte-for-byte identical to the serial one — only faster.  ``jobs=1``
 (or a single cell) runs inline with no pool at all.
+
+Multi-tenant provider runs shard the same way: a
+:class:`ProviderCellSpec` freezes one whole
+:meth:`~repro.cloud.provider.CloudProvider.run` (customer mix,
+overcommit, fabric shape, seed) and :func:`run_cells` dispatches both
+spec kinds over the one executor, so a (seed × policy-mix ×
+overcommit) provider grid fans out exactly like a single-tenant sweep.
+Provider timings land in ``BENCH_CLOUD.json``
+(:func:`record_bench_cloud`) next to the engine's ``BENCH_PERF.json``.
 """
 
 from __future__ import annotations
@@ -22,11 +31,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.vcore import VCoreConfig
 from repro.experiments.harness import RunResult
-from repro.experiments.scenarios import run_app_with_allocator
+from repro.experiments.scenarios import run_app_with_allocator, run_provider_mix
 
 
 @dataclass(frozen=True)
@@ -92,8 +101,41 @@ class CellSpec:
     candidates: Optional[Tuple[VCoreConfig, ...]] = None
 
 
-def run_cell(spec: CellSpec) -> RunResult:
+@dataclass(frozen=True)
+class ProviderCellSpec:
+    """One multi-tenant provider run of a sweep grid.
+
+    ``mix`` is the frozen (app_name, policy) pair per tenant; tenant
+    ``i`` arrives at ``i * arrival_stride``.  Like :class:`CellSpec`
+    the spec is fully value-typed (it pickles into worker processes)
+    and the explicit seed makes sharded grids bit-identical to serial
+    ones.
+    """
+
+    mix: Tuple[Tuple[str, str], ...]
+    intervals: int = 300
+    seed: int = 0
+    overcommit: float = 1.0
+    fabric_width: int = 16
+    fabric_height: int = 16
+    arrival_stride: int = 5
+
+
+AnyCellSpec = Union[CellSpec, ProviderCellSpec]
+
+
+def run_cell(spec: AnyCellSpec):
     """Run one cell (module-level so process pools can pickle it)."""
+    if isinstance(spec, ProviderCellSpec):
+        return run_provider_mix(
+            spec.mix,
+            intervals=spec.intervals,
+            seed=spec.seed,
+            overcommit=spec.overcommit,
+            fabric_width=spec.fabric_width,
+            fabric_height=spec.fabric_height,
+            arrival_stride=spec.arrival_stride,
+        )
     return run_app_with_allocator(
         spec.app_name,
         spec.kind,
@@ -109,11 +151,15 @@ def default_jobs() -> int:
 
 
 def run_cells(
-    specs: Sequence[CellSpec], jobs: Optional[int] = None
-) -> List[RunResult]:
+    specs: Sequence[AnyCellSpec], jobs: Optional[int] = None
+) -> List:
     """Run every cell; results come back in spec order regardless of
     completion order (``ProcessPoolExecutor.map`` preserves input
     order), so downstream reports are byte-stable across job counts.
+    Single-tenant and provider specs may share one batch; each result
+    slot carries whatever its spec kind produces (a
+    :class:`~repro.experiments.harness.RunResult` or a
+    :class:`~repro.cloud.provider.ProviderReport`).
     """
     specs = list(specs)
     if jobs is None:
@@ -274,3 +320,16 @@ def record_bench_perf(
     scratch.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     scratch.replace(target)
     return target
+
+
+BENCH_CLOUD_PATH = "BENCH_CLOUD.json"
+"""Provider-loop timings live here, next to ``BENCH_PERF.json``."""
+
+
+def record_bench_cloud(
+    section: str,
+    payload: Dict[str, object],
+    path: str = BENCH_CLOUD_PATH,
+) -> Path:
+    """Merge ``payload`` under ``section`` in ``BENCH_CLOUD.json``."""
+    return record_bench_perf(section, payload, path=path)

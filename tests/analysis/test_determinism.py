@@ -171,6 +171,58 @@ class TestEnvRead:
         assert findings == []
 
 
+class TestCloudScope:
+    """The provider loop (``src/repro/cloud/``) is engine territory too."""
+
+    def test_unseeded_random_triggers_in_cloud(self, lint_source):
+        findings = lint_source(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            path="src/repro/cloud/provider.py",
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+
+    def test_wall_clock_triggers_in_cloud(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path="src/repro/cloud/admission.py",
+        )
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_env_read_triggers_in_cloud(self, lint_source):
+        findings = lint_source(
+            """
+            import os
+
+            def debug_enabled():
+                return os.getenv("DEBUG")
+            """,
+            path="src/repro/cloud/tenant.py",
+        )
+        assert [f.rule for f in findings] == ["env-read"]
+
+    def test_seeded_provider_rng_is_clean(self, lint_source):
+        findings = lint_source(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            path="src/repro/cloud/provider.py",
+        )
+        assert findings == []
+
+
 class TestSetIteration:
     def test_for_over_set_call_triggers(self, lint_source):
         findings = lint_source(

@@ -163,3 +163,88 @@ class TestDefragmentation:
         # 16 free slices exist; a big core must now fit.
         allocation = fabric.allocate(99, VCoreConfig(8, 512))
         assert allocation.config.slices == 8
+
+
+class TestFreeIndexConsistency:
+    """The FAST free-tile index must always agree with a full scan."""
+
+    @staticmethod
+    def _scan_free(fabric, kind):
+        """Ground truth: row-major scan, exactly the scalar path."""
+        return [
+            position
+            for position, tile in fabric.tiles.items()
+            if tile.kind is kind and tile.is_free
+        ]
+
+    @staticmethod
+    def _apply(fabric, op):
+        action = op[0]
+        try:
+            if action == "alloc":
+                _, vcore_id, slices, l2_kb = op
+                fabric.allocate(vcore_id, VCoreConfig(slices, l2_kb))
+            elif action == "realloc":
+                _, vcore_id, slices, l2_kb = op
+                fabric.reallocate(vcore_id, VCoreConfig(slices, l2_kb))
+            elif action == "release":
+                fabric.release(op[1])
+            else:
+                fabric.defragment()
+        except FabricError:
+            pass
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("alloc"),
+                    st.integers(0, 5),
+                    st.integers(1, 4),
+                    st.sampled_from([64, 128, 256, 512]),
+                ),
+                st.tuples(
+                    st.just("realloc"),
+                    st.integers(0, 5),
+                    st.integers(1, 4),
+                    st.sampled_from([64, 128, 256, 512]),
+                ),
+                st.tuples(st.just("release"), st.integers(0, 5)),
+                st.tuples(st.just("defrag")),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_index_matches_full_scan(self, ops):
+        from repro import perf
+
+        fabric = Fabric(width=8, height=8)
+        for op in ops:
+            self._apply(fabric, op)
+            for kind in (TileKind.SLICE, TileKind.L2_BANK):
+                expected = self._scan_free(fabric, kind)
+                # Counters match the recount...
+                assert fabric.count_free(kind) == len(expected)
+                # ...and the FAST enumeration reproduces the scalar
+                # scan order exactly (seed selection depends on it).
+                with perf.fast_paths(True):
+                    fast_positions = fabric._free_positions(kind)
+                with perf.fast_paths(False):
+                    scalar_positions = fabric._free_positions(kind)
+                assert fast_positions == expected
+                assert scalar_positions == expected
+
+    def test_kind_totals_are_invariant(self):
+        fabric = Fabric(width=8, height=8)
+        before = {
+            kind: fabric.kind_total(kind)
+            for kind in (TileKind.SLICE, TileKind.L2_BANK)
+        }
+        fabric.allocate(1, VCoreConfig(4, 512))
+        fabric.defragment()
+        fabric.release(1)
+        for kind, total in before.items():
+            assert fabric.kind_total(kind) == total
+            assert fabric.count_free(kind) == total
