@@ -40,7 +40,14 @@ from repro.analysis.core import FileContext, Finding, Rule
 ENGINE_DIRS: FrozenSet[str] = frozenset({"sim", "runtime", "baselines", "cloud"})
 
 _SEEDED_RANDOM_FACTORIES = frozenset(
-    {"Random", "SystemRandom", "default_rng", "Generator", "SeedSequence"}
+    {
+        "Random",
+        "SystemRandom",
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "MT19937",
+    }
 )
 
 _WALL_CLOCK_CALLS: FrozenSet[Tuple[str, str]] = frozenset(

@@ -150,6 +150,10 @@ class CacheBank:
         self.distance = distance
         self.params = params
         self._sets: List[List[_CacheLine]] = [[] for _ in range(level.num_sets)]
+        # The set geometry is fixed for the bank's lifetime; caching it
+        # keeps _index_and_tag off the property chain on every access.
+        self._num_sets = level.num_sets
+        self._block_bytes = level.block_bytes
         self._clock = 0
         self.hits = 0
         self.misses = 0
@@ -160,8 +164,8 @@ class CacheBank:
         return l2_hit_delay(self.distance, self.params)
 
     def _index_and_tag(self, address: int) -> Tuple[int, int]:
-        block = address // self.level.block_bytes
-        return block % self.level.num_sets, block // self.level.num_sets
+        block = address // self._block_bytes
+        return block % self._num_sets, block // self._num_sets
 
     def access(self, address: int, is_write: bool = False) -> bool:
         """Access ``address``; return True on hit.
@@ -187,6 +191,29 @@ class CacheBank:
                 self.writebacks += 1
             ways.remove(victim)
         ways.append(_CacheLine(tag=tag, dirty=is_write, last_use=self._clock))
+        return False
+
+    def touch_resident(self, address: int, count: int) -> bool:
+        """Replay ``count`` repeated read hits on a resident line.
+
+        Leaves the bank in exactly the state ``count`` back-to-back
+        ``access(address, False)`` hit calls would: the clock advances
+        ``count`` ticks, the line's ``last_use`` lands on the final
+        tick, and ``hits`` grows by ``count``.  Returns ``False`` (and
+        changes nothing) if the line is not resident — the caller must
+        then fall back to real accesses, which may miss.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        index, tag = self._index_and_tag(address)
+        for line in self._sets[index]:
+            if line.tag == tag:
+                self._clock += count
+                line.last_use = self._clock
+                self.hits += count
+                return True
         return False
 
     def contains(self, address: int) -> bool:

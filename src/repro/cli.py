@@ -6,6 +6,7 @@ Usage::
     python -m repro run --app x264 --allocator cash --intervals 1000
     python -m repro figure tab3 --jobs 4
     python -m repro figure multitenant --jobs 4
+    python -m repro figure tiers --jobs 4
     python -m repro sweep --seeds 0 1 2 --jobs 8
     python -m repro export --outdir data/
     python -m repro overheads
@@ -46,6 +47,7 @@ FIGURES = (
     "tab3",
     "sec6a",
     "multitenant",
+    "tiers",
 )
 
 
@@ -118,6 +120,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         path = record_bench_cloud("multitenant_figure", timing)
         print(
             f"{timing['cells']} provider cells in "
+            f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s); "
+            f"timing recorded in {path}"
+        )
+    elif name == "tiers":
+        from repro.experiments.report import tier_table
+        from repro.experiments.scenarios import tier_agreement_grid
+        from repro.experiments.stats import record_bench_cycle
+
+        results, timing = tier_agreement_grid(
+            instructions=args.intervals or 4000, jobs=args.jobs
+        )
+        print(tier_table(results))
+        path = record_bench_cycle("tiers_figure", timing)
+        print(
+            f"{timing['cells']} tier cells x {timing['instructions']} ops in "
             f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s); "
             f"timing recorded in {path}"
         )
@@ -232,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "worker processes for multi-cell figures "
-            "(fig7/tab3/fig10/multitenant)"
+            "(fig7/tab3/fig10/multitenant/tiers)"
         ),
     )
 
@@ -271,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--outdir", default="data")
     export_parser.add_argument(
         "--name",
-        choices=sorted(set(FIGURES) - {"fig2", "sec6a", "multitenant"}),
+        choices=sorted(set(FIGURES) - {"fig2", "sec6a", "multitenant", "tiers"}),
         default=None,
     )
     return parser

@@ -95,6 +95,45 @@ def provider_table(reports: Mapping[tuple, object]) -> str:
     return "\n".join(lines)
 
 
+def tier_table(results: Mapping[tuple, object]) -> str:
+    """Render the tier-agreement sweep: one row per (phase, config).
+
+    ``results`` maps ``(app_name, phase_index, config)`` to a
+    :class:`~repro.sim.ssim.CycleResult` (the shape
+    :func:`~repro.experiments.scenarios.tier_agreement_grid` returns).
+    Each row pairs the cycle tier's measured IPC with the fast tier's
+    prediction and their relative error; the footer gives the mean and
+    worst error over the grid — the number the paper's two-tier
+    validation argument rests on.
+    """
+    header = (
+        f"{'app':<12}{'phase':>6}{'config':>10}{'cycles':>10}"
+        f"{'IPC':>8}{'pred':>8}{'err %':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    errors: List[float] = []
+    for (app_name, phase_index, config), cell in results.items():
+        error = cell.relative_error
+        errors.append(error)
+        lines.append(
+            f"{app_name:<12}{phase_index:>6}{str(config):>10}"
+            f"{cell.pipeline.cycles:>10}"
+            f"{cell.measured_ipc:>8.3f}{cell.predicted_ipc:>8.3f}"
+            f"{error * 100:>8.1f}"
+        )
+    if errors:
+        mean_error = sum(errors) / len(errors)
+        lines.append(
+            f"{'mean |err|':<28}{'':>10}{'':>8}{'':>8}"
+            f"{mean_error * 100:>8.1f}"
+        )
+        lines.append(
+            f"{'max |err|':<28}{'':>10}{'':>8}{'':>8}"
+            f"{max(errors) * 100:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
 def timeseries_table(
     results: Mapping[str, RunResult],
     stride: int = 10,

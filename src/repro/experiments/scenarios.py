@@ -548,6 +548,115 @@ def multitenant_grid(
     return reports, timing
 
 
+TIER_APPS: Tuple[str, ...] = ("x264", "apache", "mcf")
+"""Applications covered by the default tier-agreement sweep: the three
+workloads the paper leans on for its mechanism studies (the x264 phase
+study, the apache latency runs, the memory-bound mcf)."""
+
+TIER_CONFIGS: Tuple[VCoreConfig, ...] = (
+    VCoreConfig(slices=1, l2_kb=64),
+    VCoreConfig(slices=2, l2_kb=128),
+    VCoreConfig(slices=4, l2_kb=256),
+    VCoreConfig(slices=8, l2_kb=512),
+)
+"""Virtual cores the tier-agreement sweep measures: the 1..8-Slice
+scaling ladder with proportionally composed L2s."""
+
+
+def run_tier_cell(
+    app_name: str,
+    phase_index: int,
+    config: VCoreConfig,
+    instructions: int = 4000,
+    seed: int = 0,
+):
+    """Run one tier-agreement cell: cycle tier vs fast tier for one
+    (application phase, virtual core) pair.
+
+    Returns the :class:`~repro.sim.ssim.CycleResult`, which carries the
+    measured pipeline run and the analytic prediction side by side.  A
+    cell is a pure function of its arguments (the trace seed is
+    explicit), so sharded grids reproduce serial ones exactly.
+    """
+    from repro.sim.ssim import SSim
+
+    app = get_app(app_name)
+    if not 0 <= phase_index < len(app.phases):
+        raise ValueError(
+            f"{app_name} has {len(app.phases)} phases, "
+            f"got phase_index {phase_index}"
+        )
+    phase = app.phases[phase_index]
+    return SSim().run_cycle_accurate(
+        phase, config, instructions=instructions, seed=seed
+    )
+
+
+def tier_agreement_grid(
+    app_names: Sequence[str] = TIER_APPS,
+    configs: Sequence[VCoreConfig] = TIER_CONFIGS,
+    instructions: int = 4000,
+    seed: int = 0,
+    jobs: Optional[int] = 1,
+):
+    """The tier-agreement sweep: every (app phase × VCoreConfig) cell.
+
+    Runs the cycle tier on a synthetic trace of each phase on each
+    virtual core and pairs it with the fast tier's IPC prediction —
+    the full-grid version of :meth:`~repro.sim.ssim.SSim.compare_tiers`
+    that the paper's validation argument rests on.  Returns
+    ``(results, timing)`` where ``results`` maps ``(app_name,
+    phase_index, config)`` to its :class:`~repro.sim.ssim.CycleResult`
+    and ``timing`` is a JSON-ready wall-clock record for
+    ``BENCH_CYCLE.json``.  Cells shard over the same process pool as
+    the other sweeps and come back in spec order, so ``jobs`` never
+    changes any result.
+    """
+    import time
+
+    from repro.experiments.stats import (
+        TierCellSpec,
+        default_jobs,
+        run_cells,
+    )
+
+    if jobs is None:
+        jobs = default_jobs()
+    names = list(app_names)
+    config_list = list(configs)
+    keys = [
+        (name, phase_index, config)
+        for name in names
+        for phase_index in range(len(get_app(name).phases))
+        for config in config_list
+    ]
+    specs = [
+        TierCellSpec(
+            app_name=name,
+            phase_index=phase_index,
+            config=config,
+            instructions=instructions,
+            seed=seed,
+        )
+        for name, phase_index, config in keys
+    ]
+    start = time.perf_counter()
+    results = run_cells(specs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    reports = dict(zip(keys, results))
+    timing = {
+        "cells": len(specs),
+        "instructions": instructions,
+        "jobs": jobs,
+        "wall_seconds": round(elapsed, 4),
+        "cells_per_second": round(len(specs) / elapsed, 4) if elapsed else None,
+        "apps": names,
+        "configs": [str(config) for config in config_list],
+        "seed": seed,
+    }
+    return reports, timing
+
+
 def apache_timeseries(
     intervals: int = 112,
     kinds: Sequence[str] = ("convex", "race", "cash"),

@@ -35,7 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.vcore import VCoreConfig
 from repro.experiments.harness import RunResult
-from repro.experiments.scenarios import run_app_with_allocator, run_provider_mix
+from repro.experiments.scenarios import (
+    run_app_with_allocator,
+    run_provider_mix,
+    run_tier_cell,
+)
 
 
 @dataclass(frozen=True)
@@ -121,7 +125,26 @@ class ProviderCellSpec:
     arrival_stride: int = 5
 
 
-AnyCellSpec = Union[CellSpec, ProviderCellSpec]
+@dataclass(frozen=True)
+class TierCellSpec:
+    """One cycle-tier vs fast-tier agreement cell of a sweep grid.
+
+    Freezes a single (application phase, virtual core) measurement:
+    generate a trace of ``instructions`` micro-ops with the explicit
+    ``seed``, run it on the cycle tier, and pair the measured IPC with
+    the analytic prediction.  Fully value-typed like the other specs so
+    it pickles into worker processes and sharded grids stay
+    bit-identical to serial ones.
+    """
+
+    app_name: str
+    phase_index: int
+    config: VCoreConfig
+    instructions: int = 4000
+    seed: int = 0
+
+
+AnyCellSpec = Union[CellSpec, ProviderCellSpec, TierCellSpec]
 
 
 def run_cell(spec: AnyCellSpec):
@@ -135,6 +158,14 @@ def run_cell(spec: AnyCellSpec):
             fabric_width=spec.fabric_width,
             fabric_height=spec.fabric_height,
             arrival_stride=spec.arrival_stride,
+        )
+    if isinstance(spec, TierCellSpec):
+        return run_tier_cell(
+            spec.app_name,
+            spec.phase_index,
+            spec.config,
+            instructions=spec.instructions,
+            seed=spec.seed,
         )
     return run_app_with_allocator(
         spec.app_name,
@@ -332,4 +363,18 @@ def record_bench_cloud(
     path: str = BENCH_CLOUD_PATH,
 ) -> Path:
     """Merge ``payload`` under ``section`` in ``BENCH_CLOUD.json``."""
+    return record_bench_perf(section, payload, path=path)
+
+
+BENCH_CYCLE_PATH = "BENCH_CYCLE.json"
+"""Cycle-tier timings (event-driven engine and the tier-agreement
+sweep) live here, next to the other benchmark reports."""
+
+
+def record_bench_cycle(
+    section: str,
+    payload: Dict[str, object],
+    path: str = BENCH_CYCLE_PATH,
+) -> Path:
+    """Merge ``payload`` under ``section`` in ``BENCH_CYCLE.json``."""
     return record_bench_perf(section, payload, path=path)

@@ -102,7 +102,7 @@ class SSim:
             )
             trace = generator.generate(instructions)
         pipeline = self.build_pipeline(config)
-        result = pipeline.run(list(trace))
+        result = pipeline.run(trace)
         return CycleResult(
             pipeline=result,
             predicted_ipc=self.perf_model.ipc(phase, config),

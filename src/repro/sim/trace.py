@@ -7,6 +7,17 @@ phase model specifies: instruction mix (memory references per
 instruction, branch fraction), dependency structure targeting the
 phase's intrinsic ILP, mispredict rate, and memory reuse matching the
 working-set spectrum.  DESIGN.md §2 records this substitution.
+
+Generation has two implementations behind :data:`repro.perf.FAST`:
+
+* the scalar reference draws from :class:`random.Random` one call at a
+  time (``_generate_reference``);
+* the fast twin (``_generate_fast``) syncs a ``numpy`` MT19937 bit
+  generator to the *same* Mersenne Twister state, pulls raw 32-bit
+  words in bulk, and decodes CPython's ``random()`` / ``getrandbits``
+  layouts from that word stream — so it consumes the identical RNG
+  stream and emits the identical op sequence, then writes the advanced
+  state back into ``self.rng``.
 """
 
 from __future__ import annotations
@@ -17,6 +28,9 @@ from typing import List, Optional
 
 from collections import deque
 
+import numpy as np
+
+from repro import perf
 from repro.sim.isa import MicroOp, OpKind
 from repro.workloads.phase import Phase
 
@@ -24,6 +38,118 @@ _BLOCK_BYTES = 64
 _HOT_SET_BLOCKS = 96
 """Recently-touched blocks re-accessed to realize the phase's L1 hit
 rate: ~96 blocks (6 KB) comfortably fit the 16 KB L1."""
+
+_RAW_BLOCK = 1 << 16
+"""Raw 32-bit MT words pulled per ``random_raw`` batch in the fast
+generator."""
+
+_RAW_MARGIN = 1 << 12
+"""Headroom kept in the word buffer so one op's draws never run off the
+end between refills (an op needs at most a few hundred words)."""
+
+_RECIP_53 = 1.0 / 9007199254740992.0
+"""``2**-53`` — the scale CPython's ``random()`` applies to its 53-bit
+mantissa built from two MT output words."""
+
+
+class _WordStream:
+    """CPython-compatible draws decoded from a numpy MT19937 core.
+
+    ``random.Random`` and ``numpy.random.MT19937`` share the Mersenne
+    Twister state layout (624-word key + position), and numpy's
+    ``random_raw`` yields exactly the 32-bit output words CPython's
+    ``getrandbits(32)`` consumes.  This class syncs numpy to the
+    CPython state, batches the raw words, and reimplements the two
+    derived draws the trace generator uses:
+
+    * ``random()`` — two words ``a, b``; value is
+      ``((a >> 5) * 2**26 + (b >> 6)) * 2**-53`` (the batch refill
+      precomputes this for every adjacent word pair, vectorized);
+    * ``_randbelow(n)`` — top ``n.bit_length()`` bits of one word,
+      rejection-sampled until ``< n``; recovered as
+      ``int(floats[i] * 2**53) >> (53 - k)``, since the precomputed
+      float at position ``i`` carries the top 27 bits of word ``i`` in
+      its mantissa (every draw here needs at most 23 bits).
+
+    ``resync`` replays the consumed words on a fresh clone and writes
+    the resulting state back into the ``random.Random`` instance, so a
+    scalar draw after a fast batch continues the same stream.
+    """
+
+    __slots__ = (
+        "_state",
+        "_bitgen",
+        "_checkpoints",
+        "_raw",
+        "size",
+        "floats",
+        "cursor",
+        "_drawn",
+    )
+
+    def __init__(self, state: tuple) -> None:
+        self._state = state
+        internal = state[1]
+        bitgen = np.random.MT19937()
+        bitgen.state = {
+            "bit_generator": "MT19937",
+            "state": {
+                "key": np.asarray(internal[:-1], dtype=np.uint32),
+                "pos": internal[-1],
+            },
+        }
+        self._bitgen = bitgen
+        # (state, words drawn so far) snapshots taken before each raw
+        # block, so resync only replays the tail of the stream.  The
+        # final consumed word can sit up to one carry (< _RAW_MARGIN)
+        # before the last snapshot, hence two are kept.
+        self._checkpoints = [(bitgen.state, 0)]
+        self._raw = bitgen.random_raw(_RAW_BLOCK)
+        self._drawn = _RAW_BLOCK
+        self.cursor = 0
+        self._decode()
+
+    def _decode(self) -> None:
+        raw = self._raw
+        self.size = int(raw.shape[0])
+        self.floats = (
+            ((raw[:-1] >> 5) * 67108864.0 + (raw[1:] >> 6)) * _RECIP_53
+        ).tolist()
+
+    def refill(self) -> None:
+        """Extend the buffer, carrying over unconsumed words."""
+        self._checkpoints = [
+            self._checkpoints[-1],
+            (self._bitgen.state, self._drawn),
+        ]
+        fresh = self._bitgen.random_raw(_RAW_BLOCK)
+        self._drawn += _RAW_BLOCK
+        self._raw = np.concatenate((self._raw[self.cursor :], fresh))
+        self.cursor = 0
+        self._decode()
+
+    @property
+    def limit(self) -> int:
+        return self.size - _RAW_MARGIN
+
+    def consumed(self) -> int:
+        return self._drawn - (self.size - self.cursor)
+
+    def resync(self, rng: random.Random) -> None:
+        """Advance ``rng`` past every word consumed from this stream."""
+        used = self.consumed()
+        for snapshot, position in reversed(self._checkpoints):
+            if position <= used:
+                break
+        bitgen = np.random.MT19937()
+        bitgen.state = snapshot
+        if used > position:
+            bitgen.random_raw(used - position)
+        final = bitgen.state["state"]
+        key = tuple(int(word) for word in final["key"])
+        rng.setstate(
+            (self._state[0], key + (int(final["pos"]),), self._state[2])
+        )
 
 
 @dataclass(frozen=True)
@@ -158,9 +284,21 @@ class TraceGenerator:
         return (1 << 34) + self.rng.randrange(streaming_blocks) * _BLOCK_BYTES
 
     def generate(self, count: int) -> List[MicroOp]:
-        """Generate ``count`` micro-ops."""
+        """Generate ``count`` micro-ops.
+
+        With :data:`repro.perf.FAST` enabled the draws are decoded from
+        bulk numpy MT19937 output; the op sequence and the generator's
+        RNG state afterwards are bit-identical to the scalar path.
+        """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
+        if perf.FAST:
+            return self._generate_fast(count)
+        return self._generate_reference(count)
+
+    def _generate_reference(self, count: int) -> List[MicroOp]:
+        """Scalar reference generator: one ``random.Random`` call per
+        draw.  The FAST twin must replay this draw sequence exactly."""
         ops: List[MicroOp] = []
         for op_id in range(count):
             # The first source is the *critical* dependency, at a
@@ -240,6 +378,307 @@ class TraceGenerator:
                     )
                 )
         return ops
+
+    def _generate_fast(self, count: int) -> List[MicroOp]:
+        """FAST twin of :meth:`_generate_reference`.
+
+        Decodes the identical CPython draw sequence from batched numpy
+        MT19937 words (see :class:`_WordStream`) and builds the ops
+        without re-validating fields the construction already
+        guarantees.  All generator state (PC, hot set, sweep positions,
+        branch tables, RNG) is mirrored locally and written back only
+        on success, so the stream and every subsequent scalar draw stay
+        bit-identical.
+        """
+        stream = _WordStream(self.rng.getstate())
+        try:
+            ops, pc, hot = self._decode_ops(count, stream)
+        except IndexError:  # pragma: no cover - needs ~4096-word op
+            # One op overran the buffer margin (astronomically long
+            # rejection run).  Nothing on ``self`` was touched yet, so
+            # the scalar path can regenerate from the original state.
+            return self._generate_reference(count)
+        self._pc = pc
+        self._hot_blocks.clear()
+        self._hot_blocks.extend(hot)
+        stream.resync(self.rng)
+        return ops
+
+    def _decode_ops(self, count: int, stream: _WordStream):
+        """Decode ``count`` ops from ``stream``; returns (ops, pc, hot).
+
+        Every piece of generator state (sweep positions, branch tables,
+        PC, hot set) is mirrored locally; the sweep and branch tables
+        are written back just before returning, the rest is handed to
+        the caller — so an aborted decode leaves ``self`` untouched.
+        """
+        phase = self.phase
+        mem_fraction = phase.mem_refs_per_inst
+        branch_cut = mem_fraction + phase.branch_fraction
+        mispredict_rate = phase.mispredict_rate
+        l1_miss_rate = phase.l1_miss_rate
+        num_registers = self.num_registers
+        reg_shift = 53 - num_registers.bit_length()
+        code_blocks = self._code_blocks
+        code_shift = 53 - code_blocks.bit_length()
+        hard_fraction = self._hard_fraction
+        bias = dict(self._branch_bias)
+        branch_target = dict(self._branch_target)
+        sweep = list(self._sweep_position)
+        working_set = phase.working_set
+        region_blocks = [
+            max(size_kb * 1024 // _BLOCK_BYTES, 1)
+            for size_kb, _fraction in working_set
+        ]
+        streaming_blocks = (256 << 20) // _BLOCK_BYTES
+        pc = self._pc
+        hot = list(self._hot_blocks)
+        mean = max(phase.ilp, 1.0)
+        p_geo = 1.0 / (mean + 1.0)
+        code_base = 2 << 40
+        block_bytes = _BLOCK_BYTES
+        hot_cap = _HOT_SET_BLOCKS
+        micro_op = MicroOp
+
+        floats = stream.floats
+        cursor = stream.cursor
+        limit = stream.limit
+
+        new_op = object.__new__
+        set_dict = object.__setattr__
+        alu = OpKind.ALU
+        load = OpKind.LOAD
+        store = OpKind.STORE
+        branch = OpKind.BRANCH
+
+        ops: List[MicroOp] = []
+        append_op = ops.append
+        dests: List[Optional[int]] = []
+        append_dest = dests.append
+
+        for op_id in range(count):
+            if cursor > limit:
+                stream.cursor = cursor
+                stream.refill()
+                floats = stream.floats
+                cursor = stream.cursor
+                limit = stream.limit
+            # _dependency_distance: geometric via repeated random().
+            distance = 1
+            value = floats[cursor]
+            cursor += 2
+            while value > p_geo and distance < 64:
+                distance += 1
+                value = floats[cursor]
+                cursor += 2
+            producer = op_id - distance
+            src0 = dests[producer] if producer >= 0 else None
+            if src0 is None:
+                # randrange(num_registers): top-bits rejection sample.
+                src0 = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                cursor += 1
+                while src0 >= num_registers:
+                    src0 = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                    cursor += 1
+            src1 = -1
+            value = floats[cursor]
+            cursor += 2
+            if value < 0.6:
+                # randint(16, 64) == 16 + _randbelow(49).
+                step = int(floats[cursor] * 9007199254740992.0) >> 47
+                cursor += 1
+                while step >= 49:
+                    step = int(floats[cursor] * 9007199254740992.0) >> 47
+                    cursor += 1
+                stale = op_id - 16 - step
+                back = dests[stale] if stale >= 0 else None
+                if back is None:
+                    back = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                    cursor += 1
+                    while back >= num_registers:
+                        back = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                        cursor += 1
+                src1 = back
+            dest = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+            cursor += 1
+            while dest >= num_registers:
+                dest = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                cursor += 1
+            draw = floats[cursor]
+            cursor += 2
+            # Triage ordered by frequency (ALU usually dominates); the
+            # _code_address taken-branch draw only happens for
+            # branches, exactly like the reference's short-circuit.
+            if draw >= branch_cut:
+                # ALU op.
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                op = new_op(micro_op)
+                set_dict(
+                    op,
+                    "__dict__",
+                    {
+                        "op_id": op_id,
+                        "kind": alu,
+                        "sources": (src0,) if src1 < 0 else (src0, src1),
+                        "dest": dest,
+                        "address": None,
+                        "mispredicted": False,
+                        "code_address": code_address,
+                        "taken": None,
+                        "branch_target": None,
+                    },
+                )
+                append_dest(dest)
+            elif draw < mem_fraction:
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                value = floats[cursor]
+                cursor += 2
+                is_load = value < 0.7
+                # _address: hot-set re-touch or cold sweep.
+                address = -1
+                if hot:
+                    value = floats[cursor]
+                    cursor += 2
+                    if value > l1_miss_rate:
+                        # choice(hot): _randbelow(len(hot)).
+                        size = len(hot)
+                        shift = 53 - size.bit_length()
+                        pick = int(floats[cursor] * 9007199254740992.0) >> shift
+                        cursor += 1
+                        while pick >= size:
+                            pick = int(floats[cursor] * 9007199254740992.0) >> shift
+                            cursor += 1
+                        address = hot[pick]
+                if address < 0:
+                    # _cold_address: working-set sweep or streaming.
+                    value = floats[cursor]
+                    cursor += 2
+                    cumulative = 0.0
+                    previous_fraction = 0.0
+                    base = 0
+                    for index, (_size_kb, fraction) in enumerate(working_set):
+                        cumulative += fraction - previous_fraction
+                        if value < cumulative:
+                            blocks = region_blocks[index]
+                            position = sweep[index]
+                            sweep[index] = (position + 1) % blocks
+                            address = base + position * block_bytes
+                            break
+                        previous_fraction = fraction
+                        base += 1 << 30
+                    else:
+                        block = int(floats[cursor] * 9007199254740992.0) >> 30
+                        cursor += 1
+                        while block >= streaming_blocks:
+                            block = int(floats[cursor] * 9007199254740992.0) >> 30
+                            cursor += 1
+                        address = (1 << 34) + block * block_bytes
+                    hot.append(address)
+                    if len(hot) > hot_cap:
+                        del hot[0]
+                if is_load:
+                    op = new_op(micro_op)
+                    set_dict(
+                        op,
+                        "__dict__",
+                        {
+                            "op_id": op_id,
+                            "kind": load,
+                            "sources": (src0,),
+                            "dest": dest,
+                            "address": address,
+                            "mispredicted": False,
+                            "code_address": code_address,
+                            "taken": None,
+                            "branch_target": None,
+                        },
+                    )
+                    append_dest(dest)
+                else:
+                    op = new_op(micro_op)
+                    set_dict(
+                        op,
+                        "__dict__",
+                        {
+                            "op_id": op_id,
+                            "kind": store,
+                            "sources": (src0,) if src1 < 0 else (src0, src1),
+                            "dest": None,
+                            "address": address,
+                            "mispredicted": False,
+                            "code_address": code_address,
+                            "taken": None,
+                            "branch_target": None,
+                        },
+                    )
+                    append_dest(None)
+            else:
+                # Branch: a taken branch may jump the PC before the
+                # code address is formed (_code_address).
+                value = floats[cursor]
+                cursor += 2
+                if value < 0.6:
+                    pc = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                    cursor += 1
+                    while pc >= code_blocks:
+                        pc = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                        cursor += 1
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                # _branch_behaviour: first visit fixes bias + target.
+                branch_bias = bias.get(code_address)
+                if branch_bias is None:
+                    value = floats[cursor]
+                    cursor += 2
+                    branch_bias = 0.5 if value < hard_fraction else 0.97
+                    bias[code_address] = branch_bias
+                    block = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                    cursor += 1
+                    while block >= code_blocks:
+                        block = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                        cursor += 1
+                    branch_target[code_address] = (
+                        code_base + block * block_bytes
+                    )
+                value = floats[cursor]
+                cursor += 2
+                taken = value < branch_bias
+                value = floats[cursor]
+                cursor += 2
+                op = new_op(micro_op)
+                set_dict(
+                    op,
+                    "__dict__",
+                    {
+                        "op_id": op_id,
+                        "kind": branch,
+                        "sources": (src0,),
+                        "dest": None,
+                        "address": None,
+                        "mispredicted": value < mispredict_rate,
+                        "code_address": code_address,
+                        "taken": taken,
+                        "branch_target": branch_target[code_address],
+                    },
+                )
+                append_dest(None)
+            append_op(op)
+        stream.cursor = cursor
+        self._sweep_position[:] = sweep
+        self._branch_bias.update(bias)
+        self._branch_target.update(branch_target)
+        return ops, pc, hot
 
     @staticmethod
     def stats(ops: List[MicroOp]) -> TraceStats:

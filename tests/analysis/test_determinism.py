@@ -69,6 +69,33 @@ class TestUnseededRandom:
         )
         assert findings == []
 
+    def test_mt19937_bit_generator_is_clean(self, lint_source):
+        """The trace generator's word-stream decoder builds a raw
+        MT19937 bit generator and seeds it from an explicit CPython RNG
+        state — a seeded factory, not the legacy global generator."""
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def make_stream(state):
+                bitgen = np.random.MT19937()
+                bitgen.state = {"bit_generator": "MT19937", "state": state}
+                return bitgen
+            """
+        )
+        assert findings == []
+
+    def test_numpy_global_random_still_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.random()
+            """
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+
     def test_out_of_scope_directory_is_clean(self, lint_source):
         findings = lint_source(
             """

@@ -1,5 +1,7 @@
 """Trigger / no-trigger fixtures for the FAST-parity rule."""
 
+from pathlib import Path
+
 
 class TestFastParity:
     def test_deleted_scalar_twin_triggers(self, lint_source):
@@ -134,6 +136,35 @@ class TestFastParity:
         )
         assert findings == []
 
+    def test_dispatch_twin_methods_are_clean(self, lint_source):
+        """The pipeline/trace idiom: a public entry point dispatching
+        to a private fast twin, the reference twin on fall-through."""
+        findings = lint_source(
+            """
+            from repro import perf
+
+            class Engine:
+                def run(self, trace):
+                    if perf.FAST:
+                        return self._run_event_driven(trace)
+                    return self._run_reference(trace)
+            """
+        )
+        assert findings == []
+
+    def test_dispatch_without_reference_twin_triggers(self, lint_source):
+        findings = lint_source(
+            """
+            from repro import perf
+
+            class Engine:
+                def run(self, trace):
+                    if perf.FAST:
+                        return self._run_event_driven(trace)
+            """
+        )
+        assert [f.rule for f in findings] == ["fast-parity"]
+
     def test_applies_outside_engine_directories(self, lint_source):
         """Parity is repo-wide: harness/baseline code branches on FAST
         too."""
@@ -148,3 +179,16 @@ class TestFastParity:
             path="src/repro/experiments/harness.py",
         )
         assert [f.rule for f in findings] == ["fast-parity"]
+
+
+class TestEngineFilesClean:
+    """The real event-driven engine files lint clean, full suite."""
+
+    def test_pipeline_and_trace_have_zero_findings(self, lint_source):
+        root = Path(__file__).resolve().parents[2]
+        for relative in (
+            "src/repro/sim/pipeline.py",
+            "src/repro/sim/trace.py",
+        ):
+            source = (root / relative).read_text()
+            assert lint_source(source, path=relative) == []

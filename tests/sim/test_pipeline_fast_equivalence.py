@@ -1,0 +1,311 @@
+"""The event-driven cycle tier is an optimization, never a model change.
+
+Every trace here runs twice through :class:`MultiSlicePipeline` — fast
+paths on (wakeup scoreboard, cycle skipping, the load-release heap) and
+off (the seed's per-cycle scalar scan) — and must produce *identical*
+results: the :class:`PipelineResult`, every per-Slice counter, and the
+full memory-hierarchy statistics.  Likewise the vectorized trace
+generator: same micro-op sequence, same RNG state afterwards, so a
+fixed-seed experiment is bit-for-bit reproducible with the switch in
+either position.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.arch.counters import CounterKind
+from repro.arch.vcore import VCoreConfig
+from repro.sim.isa import MicroOp, OpKind
+from repro.sim.pipeline import MultiSlicePipeline
+from repro.sim.ssim import SSim
+from repro.sim.trace import TraceGenerator
+from repro.workloads.phase import Phase
+
+
+@pytest.fixture(autouse=True)
+def restore_fast_paths():
+    yield
+    perf.set_fast_paths(True)
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        name="p",
+        instructions_m=10,
+        ilp=3.0,
+        mem_refs_per_inst=0.3,
+        l1_miss_rate=0.1,
+        working_set=((256, 0.6), (2048, 0.9)),
+        branch_fraction=0.15,
+        mispredict_rate=0.05,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+def run_both_ways(trace, config):
+    """Run ``trace`` with fast paths on and off; return both snapshots."""
+    snapshots = []
+    for enabled in (True, False):
+        with perf.fast_paths(enabled):
+            pipeline = MultiSlicePipeline(config)
+            result = pipeline.run(trace)
+        counters = [
+            {kind: c.value(kind) for kind in CounterKind}
+            for c in pipeline.counters
+        ]
+        snapshots.append((result, counters, pipeline.memory.stats()))
+    return snapshots
+
+
+def assert_identical(trace, config):
+    fast, reference = run_both_ways(trace, config)
+    assert fast[0] == reference[0]  # PipelineResult
+    assert fast[1] == reference[1]  # per-Slice counters
+    assert fast[2] == reference[2]  # memory-hierarchy stats
+
+
+class TestHandcraftedTraces:
+    """Targeted shapes: each exercises one event-driven mechanism."""
+
+    def test_dependent_alu_chain(self):
+        # Serial chain: every wakeup comes through the scoreboard.
+        ops = [
+            MicroOp(op_id=i, kind=OpKind.ALU, sources=(1,) if i else (0,), dest=1)
+            for i in range(300)
+        ]
+        assert_identical(ops, VCoreConfig(2, 128))
+
+    def test_independent_alu_ops(self):
+        ops = [
+            MicroOp(op_id=i, kind=OpKind.ALU, sources=(0,), dest=1 + i % 60)
+            for i in range(300)
+        ]
+        assert_identical(ops, VCoreConfig(4, 256))
+
+    def test_streaming_loads_exercise_release_heap(self):
+        # Every load misses: the load-release heap carries the schedule.
+        ops = []
+        for i in range(400):
+            if i % 2:
+                ops.append(
+                    MicroOp(
+                        op_id=i,
+                        kind=OpKind.LOAD,
+                        sources=(0,),
+                        dest=1 + i % 50,
+                        address=i * 64 + (1 << 35),
+                    )
+                )
+            else:
+                ops.append(
+                    MicroOp(op_id=i, kind=OpKind.ALU, sources=(0,), dest=1)
+                )
+        assert_identical(ops, VCoreConfig(2, 64))
+
+    def test_stores_and_loads_interleaved(self):
+        ops = []
+        for i in range(300):
+            address = (i % 16) * 64
+            if i % 3 == 0:
+                ops.append(
+                    MicroOp(
+                        op_id=i, kind=OpKind.STORE, sources=(0,), address=address
+                    )
+                )
+            else:
+                ops.append(
+                    MicroOp(
+                        op_id=i,
+                        kind=OpKind.LOAD,
+                        sources=(0,),
+                        dest=1 + i % 30,
+                        address=address,
+                    )
+                )
+        assert_identical(ops, VCoreConfig(8, 512))
+
+    def test_mispredicted_branches_flush(self):
+        ops = []
+        for i in range(300):
+            if i % 7 == 0:
+                ops.append(
+                    MicroOp(
+                        op_id=i,
+                        kind=OpKind.BRANCH,
+                        sources=(0,),
+                        mispredicted=(i % 14 == 0),
+                        code_address=(2 << 40) + (i % 5) * 64,
+                        taken=True,
+                        branch_target=(2 << 40),
+                    )
+                )
+            else:
+                ops.append(
+                    MicroOp(op_id=i, kind=OpKind.ALU, sources=(0,), dest=1)
+                )
+        assert_identical(ops, VCoreConfig(2, 128))
+
+    def test_wide_code_footprint_misses_l1i(self):
+        # Code addresses spread past the 16 KB L1I: fetch misses must
+        # stall identically in both engines.
+        ops = [
+            MicroOp(
+                op_id=i,
+                kind=OpKind.ALU,
+                sources=(0,),
+                dest=1,
+                code_address=(2 << 40) + (i % 1024) * 64,
+            )
+            for i in range(2048)
+        ]
+        assert_identical(ops, VCoreConfig(1, 64))
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("slices", [1, 2, 4, 8])
+    def test_default_phase_all_slice_counts(self, slices):
+        trace = TraceGenerator(make_phase(), seed=0).generate(1500)
+        assert_identical(trace, VCoreConfig(slices, 64 * slices))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ilp=st.floats(min_value=0.5, max_value=8.0),
+        mem_refs=st.floats(min_value=0.0, max_value=0.6),
+        l1_miss=st.floats(min_value=0.0, max_value=1.0),
+        branch_fraction=st.floats(min_value=0.0, max_value=0.4),
+        mispredict=st.floats(min_value=0.0, max_value=0.5),
+        hit_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+        count=st.integers(min_value=50, max_value=800),
+        slices=st.sampled_from([1, 2, 4, 8]),
+        l2_kb=st.sampled_from([64, 128, 256, 512]),
+    )
+    def test_random_phase_random_config(
+        self,
+        ilp,
+        mem_refs,
+        l1_miss,
+        branch_fraction,
+        mispredict,
+        hit_fraction,
+        seed,
+        count,
+        slices,
+        l2_kb,
+    ):
+        phase = make_phase(
+            ilp=ilp,
+            mem_refs_per_inst=mem_refs,
+            l1_miss_rate=l1_miss,
+            branch_fraction=branch_fraction,
+            mispredict_rate=mispredict,
+            working_set=((128, hit_fraction),),
+        )
+        with perf.fast_paths(False):
+            trace = TraceGenerator(phase, seed=seed).generate(count)
+        assert_identical(trace, VCoreConfig(slices, l2_kb))
+
+
+def generator_state(generator):
+    return (
+        generator._pc,
+        list(generator._hot_blocks),
+        list(generator._sweep_position),
+        dict(generator._branch_bias),
+        dict(generator._branch_target),
+        generator.rng.getstate(),
+    )
+
+
+class TestTraceGeneratorFastVsReference:
+    def test_same_ops_same_rng_state(self):
+        phase = make_phase()
+        with perf.fast_paths(True):
+            fast_gen = TraceGenerator(phase, seed=11)
+            fast = fast_gen.generate(3000)
+        with perf.fast_paths(False):
+            ref_gen = TraceGenerator(phase, seed=11)
+            reference = ref_gen.generate(3000)
+        assert fast == reference
+        assert generator_state(fast_gen) == generator_state(ref_gen)
+
+    def test_second_batch_continues_identically(self):
+        # The word-stream resync must leave the CPython RNG exactly
+        # where the scalar loop would have, so a later batch (in either
+        # mode) continues the same stream.
+        phase = make_phase()
+        with perf.fast_paths(True):
+            fast_gen = TraceGenerator(phase, seed=5)
+            first_fast = fast_gen.generate(700)
+        ref_gen = TraceGenerator(phase, seed=5)
+        with perf.fast_paths(False):
+            first_ref = ref_gen.generate(700)
+            second_ref = ref_gen.generate(700)
+        assert first_fast == first_ref
+        with perf.fast_paths(True):
+            second_fast = fast_gen.generate(700)
+        assert second_fast == second_ref
+
+    def test_rng_usable_after_fast_generate(self):
+        phase = make_phase()
+        with perf.fast_paths(True):
+            gen = TraceGenerator(phase, seed=9)
+            gen.generate(500)
+        mirror = random.Random()
+        ref_gen = TraceGenerator(phase, seed=9)
+        with perf.fast_paths(False):
+            ref_gen.generate(500)
+        mirror.setstate(ref_gen.rng.getstate())
+        assert [gen.rng.random() for _ in range(8)] == [
+            mirror.random() for _ in range(8)
+        ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mem_refs=st.floats(min_value=0.0, max_value=0.6),
+        l1_miss=st.floats(min_value=0.0, max_value=1.0),
+        branch_fraction=st.floats(min_value=0.0, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2**31),
+        count=st.integers(min_value=1, max_value=2000),
+    )
+    def test_random_phase_sequences_match(
+        self, mem_refs, l1_miss, branch_fraction, seed, count
+    ):
+        phase = make_phase(
+            mem_refs_per_inst=mem_refs,
+            l1_miss_rate=l1_miss,
+            branch_fraction=branch_fraction,
+        )
+        with perf.fast_paths(True):
+            fast_gen = TraceGenerator(phase, seed=seed)
+            fast = fast_gen.generate(count)
+        with perf.fast_paths(False):
+            ref_gen = TraceGenerator(phase, seed=seed)
+            reference = ref_gen.generate(count)
+        assert fast == reference
+        assert generator_state(fast_gen) == generator_state(ref_gen)
+
+
+class TestRuntimeIterationRegression:
+    """Section VI-A microbenchmark values, pinned bit-exactly.
+
+    These are the numbers ``repro overheads`` prints; the event-driven
+    engine must reproduce them with the switch in either position.
+    """
+
+    PINNED = {1: 2020.4, 2: 1269.4, 3: 1074.6}
+
+    @pytest.mark.parametrize("slices,expected", sorted(PINNED.items()))
+    def test_pinned_fast(self, slices, expected):
+        with perf.fast_paths(True):
+            assert SSim().runtime_iteration_cycles(slices=slices) == expected
+
+    @pytest.mark.parametrize("slices,expected", sorted(PINNED.items()))
+    def test_pinned_reference(self, slices, expected):
+        with perf.fast_paths(False):
+            assert SSim().runtime_iteration_cycles(slices=slices) == expected

@@ -56,6 +56,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Mcycles" in out
 
+    def test_figure_tiers_small(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # BENCH_CYCLE.json lands here
+        assert main(["figure", "tiers", "--intervals", "300", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "err %" in out
+        assert "mean |err|" in out
+        assert "tier cells" in out
+        assert (tmp_path / "BENCH_CYCLE.json").exists()
+
     def test_overheads(self, capsys):
         assert main(["overheads"]) == 0
         out = capsys.readouterr().out

@@ -26,4 +26,5 @@ def test_example_runs(script):
 
 def test_expected_examples_present():
     assert "quickstart.py" in EXAMPLES
+    assert "tier_agreement.py" in EXAMPLES
     assert len(EXAMPLES) >= 5
