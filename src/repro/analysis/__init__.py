@@ -19,23 +19,32 @@ against):
   default arguments, numpy alias shadowing.
 * :mod:`repro.analysis.units` — the ``Annotated`` unit vocabulary
   (cycles / instructions / dollars) and the additive-mixing checker.
+* :mod:`repro.analysis.effects` — shared-state discipline over the
+  :mod:`repro.analysis.callgraph` effect summaries: unsynchronized
+  global writes reachable from sweep workers or FAST twins, lock
+  discipline in lock-declaring modules, and frozen-only cache
+  publishes/lookups.
 
 The framework lives in :mod:`repro.analysis.core`; the committed
 findings baseline that lets CI gate only *new* violations lives in
 :mod:`repro.analysis.baseline`; the ``repro lint`` wiring in
-:mod:`repro.analysis.cli`.
+:mod:`repro.analysis.cli`.  The runtime half of the shared-state story
+— the opt-in ``REPRO_SANITIZE=1`` sanitizer — is
+:mod:`repro.analysis.sanitize`.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.analysis import determinism, numerics, parity, units
+from repro.analysis import determinism, effects, numerics, parity, units
 from repro.analysis.core import (
     FileContext,
     Finding,
+    ProgramRule,
     Rule,
     check_file,
+    check_program,
     scan_paths,
 )
 
@@ -44,6 +53,7 @@ ALL_RULES: List[Rule] = [
     *parity.RULES,
     *numerics.RULES,
     *units.RULES,
+    *effects.RULES,
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
@@ -53,7 +63,9 @@ __all__ = [
     "RULES_BY_ID",
     "FileContext",
     "Finding",
+    "ProgramRule",
     "Rule",
     "check_file",
+    "check_program",
     "scan_paths",
 ]

@@ -36,9 +36,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits GitHub "
+        "Actions ::error annotations",
     )
     parser.add_argument(
         "--baseline",
@@ -86,6 +87,36 @@ def _emit_json(findings: List[Finding], stream: TextIO) -> None:
     stream.write("\n")
 
 
+def _github_escape(value: str) -> str:
+    """Escape a message for a GitHub Actions workflow command."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _github_escape_property(value: str) -> str:
+    """Escape a workflow-command property value (file, title, ...)."""
+    return _github_escape(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def _emit_github(findings: List[Finding], stream: TextIO) -> None:
+    """``::error file=...,line=...::`` annotations, one per finding.
+
+    Findings arrive already stable-sorted by (path, line, column,
+    rule), so reruns on an unchanged tree produce byte-identical
+    output and CI log diffs stay meaningful.
+    """
+    for finding in findings:
+        stream.write(
+            "::error "
+            f"file={_github_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.column},"
+            f"title={_github_escape_property(f'repro lint: {finding.rule}')}"
+            f"::{_github_escape(finding.message)}\n"
+        )
+
+
 def run_lint(
     args: argparse.Namespace, stream: Optional[TextIO] = None
 ) -> int:
@@ -121,6 +152,13 @@ def run_lint(
 
     if args.format == "json":
         _emit_json(new, out)
+    elif args.format == "github":
+        _emit_github(new, out)
+        print(
+            f"{len(new)} new finding(s), {len(known)} baselined, "
+            f"{len(stale)} stale baseline entrie(s)",
+            file=out,
+        )
     else:
         for finding in new:
             print(finding.render(), file=out)

@@ -26,7 +26,16 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 _PRAGMA_PATTERN = re.compile(r"lint:\s*allow\(([a-z0-9_,\s-]+)\)")
 
@@ -65,6 +74,9 @@ class Rule:
     #: Directory names (path components) this rule is limited to; ``None``
     #: means the rule runs on every scanned file.
     scoped_dirs: Optional[FrozenSet[str]] = None
+    #: Program rules see every scanned file at once (set by
+    #: :class:`ProgramRule`); the per-file runner skips them.
+    whole_program: bool = False
 
     def applies_to(self, context: "FileContext") -> bool:
         if self.scoped_dirs is None:
@@ -72,6 +84,30 @@ class Rule:
         return bool(self.scoped_dirs.intersection(context.path_parts))
 
     def check(self, context: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProgramRule(Rule):
+    """A rule that needs the whole scanned file set at once.
+
+    Per-file rules cannot see across modules, but the shared-state
+    effect rules must follow calls from a worker entrypoint in
+    ``experiments/`` into a global write in ``sim/``.  A
+    :class:`ProgramRule` therefore implements :meth:`check_program`
+    over every parsed file of the scan; pragma suppression is applied
+    afterwards by the runner, exactly as for per-file findings.
+    """
+
+    whole_program = True
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        # Program rules never run per-file; the runner routes them to
+        # check_program with the full context list instead.
+        return iter(())
+
+    def check_program(
+        self, contexts: Sequence["FileContext"]
+    ) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -143,12 +179,44 @@ def walk_functions(tree: ast.AST) -> Iterator[FunctionNode]:
 def check_file(
     context: FileContext, rules: Iterable[Rule]
 ) -> List[Finding]:
-    """Run ``rules`` over one parsed file, honouring scopes and pragmas."""
+    """Run ``rules`` over one parsed file, honouring scopes and pragmas.
+
+    Program rules are skipped here — they need the full file set; see
+    :func:`check_program`.
+    """
     findings: List[Finding] = []
     for rule in rules:
-        if not rule.applies_to(context):
+        if rule.whole_program or not rule.applies_to(context):
             continue
         for finding in rule.check(context):
+            if context.is_allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def check_program(
+    contexts: Sequence[FileContext], rules: Iterable[Rule]
+) -> List[Finding]:
+    """Run every :class:`ProgramRule` over the whole scanned file set.
+
+    Pragma suppression and ``scoped_dirs`` filtering are applied per
+    finding, against the file the finding landed in — the same
+    semantics per-file rules get from :func:`check_file`.
+    """
+    by_path: Dict[str, FileContext] = {
+        context.display_path: context for context in contexts
+    }
+    findings: List[Finding] = []
+    for rule in rules:
+        if not isinstance(rule, ProgramRule):
+            continue
+        for finding in rule.check_program(contexts):
+            context = by_path.get(finding.path)
+            if context is None:
+                continue
+            if rule.scoped_dirs is not None and not rule.applies_to(context):
+                continue
             if context.is_allowed(finding.rule, finding.line):
                 continue
             findings.append(finding)
@@ -184,6 +252,7 @@ def scan_paths(
     anchor = (root or Path.cwd()).resolve()
     rule_list = list(rules)
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for file_path in iter_python_files(paths):
         resolved = file_path.resolve()
         try:
@@ -205,6 +274,8 @@ def scan_paths(
                 )
             )
             continue
+        contexts.append(context)
         findings.extend(check_file(context, rule_list))
+    findings.extend(check_program(contexts, rule_list))
     findings.sort(key=lambda finding: finding.sort_key)
     return findings

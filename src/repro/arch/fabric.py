@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import perf
+from repro.analysis import sanitize
 
 from repro.arch.cache import CacheBank
 from repro.arch.network import Coordinate, manhattan
@@ -123,6 +124,8 @@ class Fabric:
             TileKind.SLICE: set(),
             TileKind.L2_BANK: set(),
         }
+        # Sanitizer shadow-recount sampling counter (REPRO_SANITIZE=1).
+        self._sanitize_ticks = 0
         self._kind_totals: Dict[TileKind, int] = {
             TileKind.SLICE: 0,
             TileKind.L2_BANK: 0,
@@ -175,10 +178,35 @@ class Fabric:
 
     def count_free(self, kind: TileKind) -> int:
         if perf.FAST:
-            return len(self._free_index[kind])
+            count = len(self._free_index[kind])
+            if sanitize.ENABLED:
+                self._sanitize_ticks += 1
+                if sanitize.should_sample(self._sanitize_ticks):
+                    reference = sum(
+                        1
+                        for tile in self._tiles.values()
+                        if tile.kind is kind and tile.is_free
+                    )
+                    if count != reference:
+                        sanitize.violation(
+                            "shadow-recount",
+                            "repro.arch.fabric.Fabric._free_index",
+                            "count_free",
+                            f"{kind.name}: index says {count} free, "
+                            f"full scan says {reference}",
+                        )
+            return count
         return sum(
             1 for tile in self._tiles.values() if tile.kind is kind and tile.is_free
         )
+
+    def _scan_free_positions(self, kind: TileKind) -> List[Coordinate]:
+        """Reference full row-major scan of free tiles of ``kind``."""
+        return [
+            position
+            for position, tile in self._tiles.items()
+            if tile.kind is kind and tile.is_free
+        ]
 
     def _free_positions(self, kind: TileKind) -> List[Coordinate]:
         if perf.FAST:
@@ -186,7 +214,26 @@ class Fabric:
             # sorting the free set by (y, x) reproduces the scalar
             # scan's enumeration order exactly — allocation seed
             # selection is bit-identical in both modes.
-            return sorted(self._free_index[kind], key=lambda p: (p[1], p[0]))
+            positions = sorted(
+                self._free_index[kind], key=lambda p: (p[1], p[0])
+            )
+            if sanitize.ENABLED:
+                self._sanitize_ticks += 1
+                if sanitize.should_sample(self._sanitize_ticks):
+                    reference = self._scan_free_positions(kind)
+                    if positions != reference:
+                        extra = sorted(set(positions) - set(reference))
+                        missing = sorted(set(reference) - set(positions))
+                        sanitize.violation(
+                            "shadow-recount",
+                            "repro.arch.fabric.Fabric._free_index",
+                            "_free_positions",
+                            f"{kind.name}: index diverged from full scan "
+                            f"(stale={extra[:4]!r}, missing="
+                            f"{missing[:4]!r}, index_len={len(positions)}, "
+                            f"scan_len={len(reference)})",
+                        )
+            return positions
         return [
             position
             for position, tile in self._tiles.items()

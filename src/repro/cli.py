@@ -17,7 +17,9 @@ Usage::
 in parallel and records the timing in ``BENCH_PERF.json``.  Cells are
 independently seeded, so ``--jobs`` never changes any result.
 ``lint`` runs the domain-aware static-analysis suite
-(:mod:`repro.analysis`) and gates against the committed baseline.
+(:mod:`repro.analysis`) — including the whole-program shared-state
+rules — and gates against the committed baseline; ``--format github``
+emits GitHub Actions ``::error`` annotations for CI.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import perf
@@ -439,7 +440,10 @@ class LearnedPoints:
                 best_at[vertex] = (
                     self._points[min(holders)] if holders else idle
                 )
-            cached = (hull, best_at)
+            # Published frozen (tuple hull, read-only mapping view): the
+            # envelope is shared by every consumer until the next
+            # estimate change, so in-place edits must be impossible.
+            cached = (tuple(hull), MappingProxyType(best_at))
             self._envelopes[cache_key] = cached
         return cached
 

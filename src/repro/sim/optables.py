@@ -24,9 +24,13 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro import perf
+from repro.analysis import sanitize
 from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
 from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
 from repro.runtime.optimizer import ConfigPoint, IDLE_POINT, compute_envelope
@@ -43,19 +47,23 @@ class OperatingPointTable:
     lower convex envelope keyed by the idle point.
     """
 
-    __slots__ = ("points", "_ipc", "max_qos", "_envelopes")
+    __slots__ = ("points", "_ipc", "max_qos", "speedup_array", "_envelopes", "_sealed")
 
     def __init__(self, points: Tuple[ConfigPoint, ...]) -> None:
         if not points:
             raise ValueError("an operating-point table needs at least one point")
         self.points: Tuple[ConfigPoint, ...] = tuple(points)
-        self._ipc: Dict[VCoreConfig, float] = {
+        self._ipc: Mapping[VCoreConfig, float] = {
             point.config: point.speedup for point in self.points
         }
+        self.speedup_array: np.ndarray = np.array(
+            [point.speedup for point in self.points], dtype=np.float64
+        )
         self.max_qos: float = max(point.speedup for point in self.points)
         self._envelopes: Dict[
             Tuple[Optional[VCoreConfig], float, float], tuple
         ] = {}
+        self._sealed: bool = False
 
     def __len__(self) -> int:
         return len(self.points)
@@ -71,13 +79,41 @@ class OperatingPointTable:
         return self._ipc.get(config)
 
     def envelope(self, idle: ConfigPoint = IDLE_POINT) -> tuple:
-        """Cached ``(hull, best_at)`` lower envelope for this table."""
+        """Cached ``(hull, best_at)`` lower envelope for this table.
+
+        The cached entry is published frozen — ``hull`` as a tuple and
+        ``best_at`` as a read-only mapping view — because this object
+        sits in the process-global table cache and the envelope may be
+        handed to many threads/consumers at once.  (The memo insert
+        itself is an idempotent dict store: racing threads compute the
+        same value, so last-writer-wins is harmless under the GIL.)
+        """
         key = (idle.config, idle.speedup, idle.cost_rate)
         cached = self._envelopes.get(key)
         if cached is None:
-            cached = compute_envelope(self.points, idle)
+            hull, best_at = compute_envelope(self.points, idle)
+            cached = (tuple(hull), MappingProxyType(best_at))
             self._envelopes[key] = cached
         return cached
+
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has frozen this table for publication."""
+        return self._sealed
+
+    def seal(self) -> "OperatingPointTable":
+        """Freeze the table for publication into a shared cache.
+
+        Marks the speedup ndarray read-only and replaces the IPC map
+        with a ``MappingProxyType`` view, so any later in-place write
+        through a cached table raises instead of silently corrupting
+        every other consumer.  Idempotent; returns ``self``.
+        """
+        if not self._sealed:
+            self.speedup_array.setflags(write=False)
+            self._ipc = MappingProxyType(dict(self._ipc))
+            self._sealed = True
+        return self
 
 
 def build_table_scalar(
@@ -151,8 +187,13 @@ def operating_point_table(
         if table is not None:
             _TABLE_CACHE.move_to_end(key)
             _HITS += 1
+            if sanitize.ENABLED:
+                _verify_published(table, site="cache hit")
             return table
     table = build_table_vectorized(phase, model, space, cost_model)
+    table.seal()
+    if sanitize.ENABLED:
+        _verify_published(table, site="publish")
     with _CACHE_LOCK:
         _MISSES += 1
         _TABLE_CACHE[key] = table
@@ -160,6 +201,20 @@ def operating_point_table(
         while len(_TABLE_CACHE) > _TABLE_CACHE_MAXSIZE:
             _TABLE_CACHE.popitem(last=False)
     return table
+
+
+def _verify_published(table: OperatingPointTable, site: str) -> None:
+    """Sanitizer hook: a table in the shared cache must be sealed."""
+    owner = "repro.sim.optables.operating_point_table"
+    if not table.sealed:
+        sanitize.violation(
+            "cache-publish", owner, site, "table in cache was never sealed"
+        )
+    sanitize.verify_frozen(table.speedup_array, "cache-publish", owner, site)
+    if not isinstance(table._ipc, MappingProxyType):
+        sanitize.violation(
+            "cache-publish", owner, site, "table IPC map is a bare dict"
+        )
 
 
 def cache_info() -> Dict[str, int]:

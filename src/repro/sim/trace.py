@@ -31,6 +31,7 @@ from collections import deque
 import numpy as np
 
 from repro import perf
+from repro.analysis import sanitize
 from repro.sim.isa import MicroOp, OpKind
 from repro.workloads.phase import Phase
 
@@ -116,12 +117,37 @@ class _WordStream:
             ((raw[:-1] >> 5) * 67108864.0 + (raw[1:] >> 6)) * _RECIP_53
         ).tolist()
 
+    def _verify_checkpoints(self) -> None:
+        """Sanitizer: replaying the older checkpoint must reproduce the
+        newer one word-for-word (otherwise resync would silently land
+        the CPython RNG on the wrong word)."""
+        (old_state, old_pos), (new_state, new_pos) = self._checkpoints
+        clone = np.random.MT19937()
+        clone.state = old_state
+        if new_pos > old_pos:
+            clone.random_raw(new_pos - old_pos)
+        replayed = clone.state["state"]
+        recorded = new_state["state"]
+        if int(replayed["pos"]) != int(recorded["pos"]) or not np.array_equal(
+            replayed["key"], recorded["key"]
+        ):
+            sanitize.violation(
+                "rng-checkpoint",
+                "repro.sim.trace._WordStream",
+                "refill",
+                f"checkpoint replay of {new_pos - old_pos} words from "
+                f"word {old_pos} does not reach the recorded state at "
+                f"word {new_pos}",
+            )
+
     def refill(self) -> None:
         """Extend the buffer, carrying over unconsumed words."""
         self._checkpoints = [
             self._checkpoints[-1],
             (self._bitgen.state, self._drawn),
         ]
+        if sanitize.ENABLED:
+            self._verify_checkpoints()
         fresh = self._bitgen.random_raw(_RAW_BLOCK)
         self._drawn += _RAW_BLOCK
         self._raw = np.concatenate((self._raw[self.cursor :], fresh))
@@ -150,6 +176,22 @@ class _WordStream:
         rng.setstate(
             (self._state[0], key + (int(final["pos"]),), self._state[2])
         )
+        if sanitize.ENABLED and self.cursor < self.size - 1:
+            # The handed-back RNG's next float must be the stream's next
+            # undrawn float — proves the word-position arithmetic (and
+            # the checkpoint it replayed from) is exact.
+            probe = random.Random()
+            probe.setstate(rng.getstate())
+            expected = self.floats[self.cursor]
+            actual = probe.random()
+            if actual != expected:
+                sanitize.violation(
+                    "rng-checkpoint",
+                    "repro.sim.trace._WordStream",
+                    "resync",
+                    f"after resync at word {used} the CPython RNG draws "
+                    f"{actual!r} but the word stream holds {expected!r}",
+                )
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,7 @@ import textwrap
 import pytest
 
 from repro.analysis import ALL_RULES, RULES_BY_ID
-from repro.analysis.core import FileContext, check_file
+from repro.analysis.core import FileContext, check_file, check_program
 
 
 @pytest.fixture
@@ -25,5 +25,34 @@ def lint_source():
             else ALL_RULES
         )
         return check_file(context, selected)
+
+    return run
+
+
+@pytest.fixture
+def lint_program():
+    """Run the whole-program rules over a {path: source} snippet set.
+
+    Per-file findings from the same rule selection are included too, so
+    a test exercising ``lock-discipline`` (per-file) and
+    ``worker-global-write`` (whole-program) together reads the same.
+    """
+
+    def run(sources, rules=None):
+        contexts = [
+            FileContext(path, textwrap.dedent(source))
+            for path, source in sorted(sources.items())
+        ]
+        selected = (
+            [RULES_BY_ID[rule_id] for rule_id in rules]
+            if rules is not None
+            else ALL_RULES
+        )
+        findings = []
+        for context in contexts:
+            findings.extend(check_file(context, selected))
+        findings.extend(check_program(contexts, selected))
+        findings.sort(key=lambda finding: finding.sort_key)
+        return findings
 
     return run

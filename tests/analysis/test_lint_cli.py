@@ -120,6 +120,59 @@ class TestGateFiresOnInjectedViolations:
         )
         assert code == 1
 
+    def test_worker_global_write_fails_the_gate(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/experiments/stats.py",
+            """
+            _RESULTS = []
+
+            def run_cell(spec):
+                _RESULTS.append(spec)
+                return spec
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "worker-global-write" in out
+
+    def test_lock_discipline_violation_fails_the_gate(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/tables.py",
+            """
+            import threading
+
+            _CACHE_LOCK = threading.Lock()
+            _TABLE = {}
+
+            def publish(key, value):
+                _TABLE[key] = value
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "lock-discipline" in out
+
+    def test_cache_mutation_violation_fails_the_gate(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/tables.py",
+            """
+            _CACHE = {}
+
+            def lookup(key):
+                return _CACHE.get(key)
+
+            def poison(key):
+                table = lookup(key)
+                table.append(None)
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "cache-mutation" in out
+
     def test_clean_tree_passes(self, tmp_path, capsys):
         write_module(
             tmp_path,
@@ -275,3 +328,125 @@ class TestReportFormats:
         code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
         assert code == 1
         assert "parse-error" in out
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "github",
+            ],
+            capsys,
+        )
+        assert code == 1
+        annotations = [
+            line for line in out.splitlines() if line.startswith("::error ")
+        ]
+        (annotation,) = annotations
+        assert "file=pkg/sim/noise.py" in annotation
+        assert "line=5" in annotation
+        assert "unseeded-random" in annotation
+
+    def test_github_format_output_is_stable_sorted(self, tmp_path, capsys):
+        # Two files, multiple findings each: annotations must arrive in
+        # (path, line, column, rule) order, byte-identical across runs.
+        write_module(
+            tmp_path,
+            "pkg/sim/zeta.py",
+            """
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.time()
+            """,
+        )
+        write_module(
+            tmp_path,
+            "pkg/sim/alpha.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        argv = [
+            str(tmp_path),
+            "--no-baseline",
+            "--root",
+            str(tmp_path),
+            "--format",
+            "github",
+        ]
+        _, first = run_lint(argv, capsys)
+        _, second = run_lint(argv, capsys)
+        assert first == second
+        annotations = [
+            line for line in first.splitlines() if line.startswith("::error ")
+        ]
+        keys = []
+        for line in annotations:
+            properties = dict(
+                part.split("=", 1)
+                for part in line[len("::error ") :].split("::")[0].split(",")
+            )
+            keys.append(
+                (properties["file"], int(properties["line"]), int(properties["col"]))
+            )
+        assert keys == sorted(keys)
+        assert len(annotations) >= 3
+
+    def test_github_format_escapes_newlines_and_commas(self, tmp_path, capsys):
+        # A message containing % or newlines must not break the
+        # single-line workflow-command syntax.
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "github",
+            ],
+            capsys,
+        )
+        assert code == 1
+        for line in out.splitlines():
+            if line.startswith("::error "):
+                assert "\n" not in line
+                assert line.count("::") == 2
+
+    def test_github_format_clean_tree_emits_summary_only(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_lint(["--format", "github"], capsys)
+        assert code == 0
+        assert not [
+            line for line in out.splitlines() if line.startswith("::error")
+        ]
+        assert "0 new finding(s)" in out

@@ -59,13 +59,15 @@ def assert_view_matches_scratch(view, learner):
     assert view.points() == fresh
     hull, best_at = view.envelope(IDLE_POINT)
     fresh_hull, fresh_best = compute_envelope(fresh, IDLE_POINT)
-    assert hull == fresh_hull
+    # The cached envelope is published frozen (tuple hull, read-only
+    # best_at view); contents must still match the scratch build.
+    assert list(hull) == fresh_hull
     # The incremental view resolves owners for hull vertices only —
     # exactly the keys the two-config LP ever looks up.
     for vertex in hull:
         assert best_at[vertex] == fresh_best[vertex]
     # And through the public hull entry point used by the LP solver.
-    assert hull == _lower_hull(
+    assert list(hull) == _lower_hull(
         [(p.speedup, p.cost_rate) for p in fresh] + [
             (IDLE_POINT.speedup, IDLE_POINT.cost_rate)
         ]

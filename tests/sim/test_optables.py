@@ -107,7 +107,9 @@ class TestOperatingPointTable:
     def test_envelope_cached_and_exact(self):
         hull, best_at = self.table.envelope()
         fresh_hull, fresh_best = compute_envelope(list(self.table.points))
-        assert hull == fresh_hull
+        # Cached envelopes are published frozen: tuple hull, read-only
+        # best_at view — same contents as the scratch computation.
+        assert list(hull) == fresh_hull
         assert best_at == fresh_best
         assert self.table.envelope() is self.table.envelope()
 

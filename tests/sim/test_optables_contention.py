@@ -1,0 +1,167 @@
+"""The process-global table cache under thread contention.
+
+The cache publishes immutable sealed tables under ``_CACHE_LOCK``;
+these tests hammer ``operating_point_table`` from many threads —
+concurrently with ``cache_clear`` resets — and assert the two
+invariants the lock discipline promises:
+
+* **no half-published table**: every table any thread observes is
+  fully constructed (correct length, sealed, consistent ``max_qos``,
+  IPC map matching its points, envelope identical to a scratch
+  computation);
+* **consistent counters**: once quiescent, every recorded lookup is
+  either a hit or a miss (``hits + misses == calls``), and per-phase
+  hit/miss arithmetic survives interleaved resets.
+"""
+
+import threading
+
+import pytest
+
+from repro import perf
+from repro.arch.vcore import ConfigurationSpace
+from repro.runtime.optimizer import compute_envelope
+from repro.sim.optables import cache_clear, cache_info, operating_point_table
+from repro.workloads.apps import make_apache, make_x264
+
+SPACE = ConfigurationSpace(slice_counts=(1, 2, 4), l2_sizes_kb=(64, 256))
+
+
+@pytest.fixture(autouse=True)
+def fast_and_clean():
+    previous = perf.FAST
+    perf.set_fast_paths(True)
+    cache_clear()
+    yield
+    cache_clear()
+    perf.set_fast_paths(previous)
+
+
+def table_invariants(table, phase):
+    """Everything a fully-published table must satisfy."""
+    assert len(table) == len(list(SPACE))
+    assert table.sealed
+    assert not table.speedup_array.flags.writeable
+    assert table.max_qos == max(p.speedup for p in table.points)
+    for point in table.points:
+        assert table.get_ipc(point.config) == point.speedup
+    hull, best_at = table.envelope()
+    fresh_hull, _ = compute_envelope(list(table.points))
+    assert list(hull) == fresh_hull
+    assert best_at[hull[0]] is not None
+
+
+class TestContention:
+    def test_concurrent_gets_observe_only_whole_tables(self):
+        phases = [app.phases[0] for app in (make_x264(), make_apache())]
+        phases += [make_x264().phases[1]]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for round_number in range(40):
+                    phase = phases[(seed + round_number) % len(phases)]
+                    table = operating_point_table(phase, space=SPACE)
+                    table_invariants(table, phase)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        info = cache_info()
+        calls = 8 * 40
+        assert info["hits"] + info["misses"] == calls
+        assert info["misses"] >= len(phases)
+        assert info["size"] == len(phases)
+
+    def test_gets_racing_resets_stay_consistent(self):
+        phases = [app.phases[0] for app in (make_x264(), make_apache())]
+        errors = []
+        stop = threading.Event()
+        barrier = threading.Barrier(9)
+
+        def getter(seed):
+            try:
+                barrier.wait()
+                for round_number in range(60):
+                    phase = phases[(seed + round_number) % len(phases)]
+                    table = operating_point_table(phase, space=SPACE)
+                    table_invariants(table, phase)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def resetter():
+            try:
+                barrier.wait()
+                while not stop.is_set():
+                    cache_clear()
+                    info = cache_info()
+                    # Counters reset atomically with the table drop: a
+                    # torn reset would leave hits/misses from different
+                    # epochs with size from a third.
+                    assert info["hits"] >= 0 and info["misses"] >= 0
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=getter, args=(seed,)) for seed in range(8)
+        ]
+        threads.append(threading.Thread(target=resetter))
+        for thread in threads:
+            thread.start()
+        for thread in threads[:-1]:
+            thread.join()
+        stop.set()
+        threads[-1].join()
+        assert errors == []
+
+        # Quiescent epoch: with no further resets, counter arithmetic
+        # must hold exactly again.
+        cache_clear()
+        calls = 25
+        for index in range(calls):
+            operating_point_table(phases[index % len(phases)], space=SPACE)
+        info = cache_info()
+        assert info["hits"] + info["misses"] == calls
+        assert info["misses"] == len(phases)
+        assert info["hits"] == calls - len(phases)
+        assert info["size"] == len(phases)
+
+    def test_single_phase_hammer_yields_one_miss(self):
+        phase = make_x264().phases[0]
+        barrier = threading.Barrier(8)
+        observed = []
+
+        def worker():
+            barrier.wait()
+            tables = {
+                id(operating_point_table(phase, space=SPACE))
+                for _ in range(50)
+            }
+            observed.append(tables)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        info = cache_info()
+        assert info["hits"] + info["misses"] == 8 * 50
+        # Several threads may race the first build (the build happens
+        # outside the lock), but the cache converges on one table and
+        # every post-publication get hits it.
+        assert 1 <= info["misses"] <= 8
+        assert info["size"] == 1
+        final = operating_point_table(phase, space=SPACE)
+        for tables in observed:
+            assert id(final) in tables or len(tables) <= info["misses"]
