@@ -9,14 +9,24 @@ derived from the ASTs:
 
 * every module's **globals** are collected from module-level
   assignments and classified (mutable container, rebindable scalar —
-  i.e. some function declares it ``global`` — lock, cache);
+  i.e. some function declares it ``global`` — lock, cache).  Lock
+  classification covers both values built from lock factories
+  (``threading.Lock()`` and friends) and the ``*_LOCK`` naming
+  protocol: a global named ``..._LOCK`` is a lock slot even when it is
+  initialized to ``None`` and bound to a cross-process lock later (the
+  shared operating-point store's ``_CREATE_LOCK`` idiom);
 * every function gets a :class:`FunctionSummary` with its resolved
   **calls** (same-module names, ``from``-imports, module-alias
   attributes, ``self.method`` within a class), its **effect sites**
   (reads/writes of module globals, each tagged with whether the site
-  sits inside a ``with`` block holding one of the module's locks), and
+  sits inside a ``with`` block holding one of the module's locks —
+  functions whose name ends in ``_locked`` assume their caller already
+  holds the module lock, so their own effects count as synchronized
+  and every same-module call *to* them is recorded as a
+  :class:`LockedCall` for the lock-discipline rule to check), and
   the bookkeeping the cache rules need (names bound from cache
-  lookups, published cache values, local mutations, returns);
+  lookups, published cache values, names sealed by ``.seal()`` or
+  ``.setflags(write=False)``, local mutations, returns);
 * :class:`ProgramGraph` links the summaries into a graph and offers
   reachability in deterministic (sorted-root, BFS) order.
 
@@ -144,6 +154,15 @@ class CachePublish:
 
 
 @dataclass(frozen=True)
+class LockedCall:
+    """A same-module call to a ``*_locked`` (lock-assuming) helper."""
+
+    name: str
+    synchronized: bool
+    node: ast.AST
+
+
+@dataclass(frozen=True)
 class Mutation:
     """An in-place mutation of a local name (``x.append``, ``x[k]=``…)."""
 
@@ -171,7 +190,11 @@ class FunctionSummary:
     value_sources: Dict[str, List[ast.expr]] = field(default_factory=dict)
     """Every expression assigned to each local name (publish analysis)."""
     sealed_names: Dict[str, int] = field(default_factory=dict)
-    """Names on which ``name.seal()`` is called, with the call's line."""
+    """Names frozen by ``name.seal()`` or ``name.setflags(write=False)``
+    (an ndarray sealed in place), with the freezing call's line."""
+    locked_calls: List[LockedCall] = field(default_factory=list)
+    """Same-module calls to ``*_locked`` helpers, with whether the call
+    site itself sits inside a module-lock ``with`` block."""
     cache_publishes: List[CachePublish] = field(default_factory=list)
     returned_names: Set[str] = field(default_factory=set)
     returned_calls: List[str] = field(default_factory=list)
@@ -374,6 +397,12 @@ class _ModuleScanner:
                             info.lock_names.add(name)
                         elif _is_mutable_value(value):
                             var.mutable = True
+                    if name.endswith("_LOCK") and not var.mutable:
+                        # The *_LOCK naming protocol: also covers lock
+                        # slots initialized to None and bound to a
+                        # cross-process lock at store attach.
+                        var.is_lock = True
+                        info.lock_names.add(name)
                     if "CACHE" in name.upper() and not var.is_lock:
                         var.is_cache = True
             elif isinstance(statement, ast.ClassDef):
@@ -404,6 +433,10 @@ class _ModuleScanner:
             node=node,
         )
         class_name = _enclosing_class(node)
+        # The *_locked suffix declares "caller already holds the module
+        # lock": the helper's own effects count as synchronized, and
+        # the lock-discipline rule checks its call sites instead.
+        assumes_lock = qualname.rsplit(".", 1)[-1].endswith("_locked")
         locals_here = _local_names(node)
         global_decls: Set[str] = set()
         for child in ast.walk(node):
@@ -415,6 +448,8 @@ class _ModuleScanner:
             return name in info.globals and name not in shadowed
 
         def synchronized(site: ast.AST) -> bool:
+            if assumes_lock:
+                return True
             current = parent_of(site)
             while current is not None:
                 if isinstance(current, (ast.With, ast.AsyncWith)):
@@ -523,8 +558,21 @@ class _ModuleScanner:
                 resolved = resolve_call(child)
                 if resolved is not None:
                     summary.calls.append("::".join(resolved))
-                # Mutator method on a module-global container = write.
                 func = child.func
+                # Same-module call to a lock-assuming *_locked helper.
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id.endswith("_locked")
+                    and func.id not in shadowed
+                ):
+                    summary.locked_calls.append(
+                        LockedCall(
+                            name=func.id,
+                            synchronized=synchronized(child),
+                            node=child,
+                        )
+                    )
+                # Mutator method on a module-global container = write.
                 if (
                     isinstance(func, ast.Attribute)
                     and func.attr in MUTATOR_METHODS
@@ -546,11 +594,27 @@ class _ModuleScanner:
                             what=f".{func.attr}(...)",
                         )
                     )
-                # ``name.seal()`` marks a value frozen-at-publish.
+                # ``name.seal()`` marks a value frozen-at-publish, and
+                # so does ``name.setflags(write=False)`` — the ndarray
+                # idiom for sealing a buffer view in place.
                 if (
                     isinstance(func, ast.Attribute)
                     and func.attr == "seal"
                     and isinstance(func.value, ast.Name)
+                ):
+                    summary.sealed_names.setdefault(
+                        func.value.id, getattr(child, "lineno", 0)
+                    )
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setflags"
+                    and isinstance(func.value, ast.Name)
+                    and any(
+                        keyword.arg == "write"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is False
+                        for keyword in child.keywords
+                    )
                 ):
                     summary.sealed_names.setdefault(
                         func.value.id, getattr(child, "lineno", 0)

@@ -13,17 +13,24 @@ summaries, police the engine's process-global mutable state:
     invisibly.
 
 ``lock-discipline``
-    A module that defines a lock (``_LOCK``/``_CACHE_LOCK``… — any
-    module global bound to ``threading.Lock()`` and friends) has
-    declared a protocol: its shared mutable globals are lock-protected.
-    Every read *and* write of such a global from function code must sit
-    inside a ``with <lock>:`` block of one of the module's locks.
+    A module that defines a lock (any module global bound to
+    ``threading.Lock()`` and friends, or following the ``*_LOCK``
+    naming protocol — including ``None``-initialized slots later bound
+    to a cross-process lock) has declared a protocol: its shared
+    mutable globals are lock-protected.  Every read *and* write of
+    such a global from function code must sit inside a ``with
+    <lock>:`` block of one of the module's locks.  Helpers named
+    ``*_locked`` assume the caller already holds the lock — their own
+    effects pass, and instead every same-module *call* to them must
+    itself sit inside a lock block.
 
 ``cache-mutation``
     Values published into a module-level cache (a global with ``CACHE``
     in its name) must be provably frozen — a frozen dataclass, tuple,
     ``MappingProxyType``/``frozenset`` call, a value carrying a
-    ``.seal()`` call, or something read back from the same cache — and
+    ``.seal()`` or ``.setflags(write=False)`` call (the shared
+    operating-point store's sealed-ndarray publish idiom), or
+    something read back from the same cache — and
     values obtained *from* a cache accessor must never be mutated in
     place (``.append``, ``x[k] = …``, ``del x[k]``…).  Taint follows
     direct bindings and accessor call chains; passing a cached object
@@ -155,6 +162,22 @@ class LockDisciplineRule(Rule):
                         f"'{summary.qualname}' outside the module's "
                         f"lock(s) ({locks}); wrap the access in "
                         f"'with {sorted(info.lock_names)[0]}:'"
+                    ),
+                )
+            # A *_locked helper documents "caller holds the lock"; a
+            # same-module call to one outside any lock block breaks
+            # that contract even though the helper's own effects pass.
+            for call in summary.locked_calls:
+                if call.synchronized:
+                    continue
+                yield context.finding(
+                    self,
+                    call.node,
+                    (
+                        f"call to lock-assuming helper '{call.name}' "
+                        f"in '{summary.qualname}' outside the module's "
+                        f"lock(s) ({locks}); *_locked helpers must be "
+                        f"called with the lock already held"
                     ),
                 )
 

@@ -20,7 +20,13 @@ Three families of checks plug into the engine:
   against a full recomputation;
 * **checkpoint verification** — the RNG word-stream decoder calls
   :func:`violation` when a resync or checkpoint replay disagrees with
-  the reference stream.
+  the reference stream;
+* **shared-memory attach verification** — the tiered operating-point
+  store (:mod:`repro.sim.optstore`) re-checksums every speedup surface
+  it maps from a shared-memory segment or loads from the disk tier and
+  calls :func:`violation` (rule ``shm-attach``) on any mismatch with
+  the digest recorded at publish time, mirroring the freeze-on-publish
+  check the L1 cache gets.
 
 Violations raise :class:`SanitizerViolation`, naming the rule, the
 owner site (who published/owns the state) and the mutation/check site.
@@ -61,6 +67,16 @@ class SanitizerViolation(AssertionError):
         super().__init__(
             f"[sanitize:{rule}] owner={owner} site={site}: {detail}"
         )
+
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[str, str, str, str]]:
+        # ``args`` holds the formatted message, not the constructor
+        # arguments, so the default reduce cannot rebuild the exception
+        # — and a violation raised inside a pool worker must survive
+        # the pickled trip back to the parent instead of breaking the
+        # pool.
+        return type(self), (self.rule, self.owner, self.site, self.detail)
 
 
 def enabled() -> bool:

@@ -22,10 +22,13 @@ unneeded tiles pays off.
 
 The provider loop is the engine's multi-tenant hot path.  Under
 :data:`repro.perf.FAST` it routes every ground-truth IPC query through
-the process-wide operating-point table cache (tenants running the same
-application phase share one table) and drains arrivals/departures from
-interval-keyed heaps; the scalar recompute-everything twins remain the
-reference, and fixed-seed runs are bit-identical in both modes.
+the tiered operating-point store (tenants running the same application
+phase share one table process-wide, and — when a sweep stood up the
+shared tiers — fleet-wide), prefetches an arriving tenant's phase
+tables at admission so warm tables span control intervals *and*
+sweeps, and drains arrivals/departures from interval-keyed heaps; the
+scalar recompute-everything twins remain the reference, and fixed-seed
+runs are bit-identical in both modes.
 """
 
 from __future__ import annotations
@@ -145,6 +148,17 @@ class CloudProvider:
         decision = self.admission.request(tenant)
         if not decision.admitted:
             return decision
+        if perf.FAST:
+            # Prefetch the tenant's phase tables at admission: warm
+            # surfaces arrive from the shared store in one guarded
+            # lookup per phase, instead of lazy first-touches spread
+            # across the tenant's first control intervals.  Tables are
+            # value-keyed, so this changes when they are built, never
+            # what they contain.
+            for phase in tenant.app.phases:
+                operating_point_table(
+                    phase, self.model, self.space, self.cost_model
+                )
         self._residents[tenant.tenant_id] = _Resident(
             tenant=tenant,
             allocator=self._build_allocator(tenant, decision.reservation),

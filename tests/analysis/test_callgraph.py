@@ -165,6 +165,89 @@ class TestEffects:
         ].has_fast_branch
 
 
+class TestStoreIdioms:
+    """Conventions the tiered operating-point store relies on."""
+
+    def test_lock_named_none_slot_classified_as_lock(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                _CREATE_LOCK = None
+                _TABLE = {}
+                """,
+            )
+        )
+        assert info.globals["_CREATE_LOCK"].is_lock
+        assert not info.globals["_CREATE_LOCK"].shared_mutable
+        assert info.lock_names == {"_CREATE_LOCK"}
+
+    def test_setflags_write_false_records_a_seal(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                _CACHE = {}
+
+                def publish(key, values):
+                    view = values.copy()
+                    view.setflags(write=False)
+                    _CACHE[key] = view
+                """,
+            )
+        )
+        summary = info.functions["src/repro/sim/demo.py::publish"]
+        assert "view" in summary.sealed_names
+
+    def test_setflags_write_true_is_not_a_seal(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                _CACHE = {}
+
+                def thaw(key, values):
+                    values.setflags(write=True)
+                    _CACHE[key] = values
+                """,
+            )
+        )
+        summary = info.functions["src/repro/sim/demo.py::thaw"]
+        assert summary.sealed_names == {}
+
+    def test_locked_suffix_assumes_lock_and_records_call_sites(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                import threading
+
+                _STORE_LOCK = threading.Lock()
+                _SEGMENTS = {}
+
+                def _register_locked(name, seg):
+                    _SEGMENTS[name] = seg
+
+                def good(name, seg):
+                    with _STORE_LOCK:
+                        _register_locked(name, seg)
+
+                def bad(name, seg):
+                    _register_locked(name, seg)
+                """,
+            )
+        )
+        helper = info.functions["src/repro/sim/demo.py::_register_locked"]
+        assert all(effect.synchronized for effect in helper.effects)
+        good = info.functions["src/repro/sim/demo.py::good"]
+        bad = info.functions["src/repro/sim/demo.py::bad"]
+        (good_call,) = good.locked_calls
+        (bad_call,) = bad.locked_calls
+        assert good_call.name == "_register_locked"
+        assert good_call.synchronized
+        assert not bad_call.synchronized
+
+
 class TestGraph:
     def test_cross_module_reachability(self):
         graph = ProgramGraph.build(

@@ -220,6 +220,139 @@ class TestLockDiscipline:
         assert findings == []
 
 
+class TestStoreLockConventions:
+    """The tiered-store idioms the analyzer understands: ``*_LOCK``
+    named slots (even ``None``-initialized cross-process ones),
+    ``*_locked`` caller-holds-the-lock helpers, and sealing an ndarray
+    in place with ``setflags(write=False)`` before publishing it."""
+
+    def test_none_initialized_lock_slot_declares_the_protocol(
+        self, lint_source
+    ):
+        findings = lint_source(
+            """
+            _CREATE_LOCK = None
+            _TABLE = {}
+
+            def publish(key, value):
+                _TABLE[key] = value
+            """,
+            rules=["lock-discipline"],
+        )
+        assert rules_of(findings) == {"lock-discipline"}
+
+    def test_with_block_on_named_lock_slot_passes(self, lint_source):
+        findings = lint_source(
+            """
+            _CREATE_LOCK = None
+            _TABLE = {}
+
+            def publish(key, value):
+                with _CREATE_LOCK:
+                    _TABLE[key] = value
+            """,
+            rules=["lock-discipline"],
+        )
+        assert findings == []
+
+    def test_locked_helper_own_effects_pass(self, lint_source):
+        findings = lint_source(
+            """
+            import threading
+
+            _STORE_LOCK = threading.Lock()
+            _SEGMENTS = {}
+
+            def _register_locked(name, seg):
+                _SEGMENTS[name] = seg
+
+            def register(name, seg):
+                with _STORE_LOCK:
+                    _register_locked(name, seg)
+            """,
+            rules=["lock-discipline"],
+        )
+        assert findings == []
+
+    def test_unlocked_call_to_locked_helper_fires(self, lint_source):
+        findings = lint_source(
+            """
+            import threading
+
+            _STORE_LOCK = threading.Lock()
+            _SEGMENTS = {}
+
+            def _register_locked(name, seg):
+                _SEGMENTS[name] = seg
+
+            def register(name, seg):
+                _register_locked(name, seg)
+            """,
+            rules=["lock-discipline"],
+        )
+        assert rules_of(findings) == {"lock-discipline"}
+        assert "_register_locked" in findings[0].message
+        assert "lock already held" in findings[0].message
+
+    def test_locked_helper_chaining_locked_helpers_passes(
+        self, lint_source
+    ):
+        findings = lint_source(
+            """
+            import threading
+
+            _STORE_LOCK = threading.Lock()
+            _SEGMENTS = {}
+            _VIEWS = {}
+
+            def _view_locked(name):
+                return _VIEWS.get(name)
+
+            def _register_locked(name, seg):
+                _SEGMENTS[name] = seg
+                return _view_locked(name)
+
+            def register(name, seg):
+                with _STORE_LOCK:
+                    return _register_locked(name, seg)
+            """,
+            rules=["lock-discipline"],
+        )
+        assert findings == []
+
+    def test_setflags_sealed_publish_does_not_fire(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/tables.py": """
+                _CACHE = {}
+
+                def publish(key, values):
+                    view = values.copy()
+                    view.setflags(write=False)
+                    _CACHE[key] = view
+                """
+            },
+            rules=["cache-mutation"],
+        )
+        assert findings == []
+
+    def test_writable_ndarray_publish_still_fires(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/tables.py": """
+                _CACHE = {}
+
+                def publish(key, values):
+                    view = values.copy()
+                    view.setflags(write=True)
+                    _CACHE[key] = view
+                """
+            },
+            rules=["cache-mutation"],
+        )
+        assert rules_of(findings) == {"cache-mutation"}
+
+
 class TestCacheMutation:
     def test_unfrozen_publish_fires(self, lint_program):
         findings = lint_program(
@@ -369,6 +502,8 @@ class TestRepoTipIsClean:
         "relative",
         [
             "src/repro/sim/optables.py",
+            "src/repro/sim/optstore.py",
+            "src/repro/cacheconf.py",
             "src/repro/arch/fabric.py",
             "src/repro/experiments/stats.py",
             "src/repro/cloud/provider.py",

@@ -111,6 +111,27 @@ class TestVerifyFrozen:
         assert sanitize.enabled()
 
 
+class TestViolationPickling:
+    def test_violation_survives_a_pool_result_pipe(self):
+        # A violation raised inside a sanitized pool worker travels
+        # back to the parent pickled; a round trip must rebuild the
+        # exception (not TypeError and break the pool).
+        import pickle
+
+        original = SanitizerViolation(
+            "shm-attach", "repro.sim.optstore", "attach abc", "bad magic"
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, SanitizerViolation)
+        assert (clone.rule, clone.owner, clone.site, clone.detail) == (
+            original.rule,
+            original.owner,
+            original.site,
+            original.detail,
+        )
+        assert str(clone) == str(original)
+
+
 class TestOptablesPublish:
     def test_published_table_is_sealed_and_readonly(self, fast):
         cache_clear()

@@ -11,8 +11,6 @@ the ``REPRO_SANITIZE`` environment variable (spawn), so the parallel
 cells here really do run their checks inside the pool processes.
 """
 
-import os
-
 import pytest
 
 from repro import perf
@@ -30,9 +28,14 @@ SPECS = tuple(
 
 @pytest.fixture(autouse=True)
 def restore_modes(monkeypatch):
+    # Capture the flag before the test (and before monkeypatch touches
+    # REPRO_SANITIZE): this teardown runs while the monkeypatched env
+    # is still in place, so re-reading os.environ here would leak a
+    # test-local setenv into the rest of the session.
+    previous = sanitize.ENABLED
     yield
     perf.set_fast_paths(True)
-    sanitize.set_enabled(os.environ.get("REPRO_SANITIZE", "") == "1")
+    sanitize.set_enabled(previous)
     cache_clear()
 
 

@@ -1,0 +1,112 @@
+"""The shared store tiers never change a result.
+
+Every cell set here is run against the scalar reference (fast paths
+off, serial) and must match record-for-record from every tier state —
+cold, shm-warm, disk-warm — at any job count, sanitized or not.  With
+fast paths off the tiers must not even be consulted.
+"""
+
+import pytest
+
+from repro import cacheconf, perf
+from repro.analysis import sanitize
+from repro.experiments.scenarios import warm_app_surfaces
+from repro.experiments.stats import CellSpec, run_cells
+from repro.sim import optstore
+from repro.sim.optables import cache_clear, cache_info
+
+SPECS = tuple(
+    CellSpec(app_name=app, kind=kind, intervals=30, seed=seed)
+    for app, kind, seed in (
+        ("x264", "cash", 0),
+        ("x264", "optimal", 1),
+        ("apache", "cash", 0),
+    )
+)
+APPS = tuple(sorted({spec.app_name for spec in SPECS}))
+
+
+@pytest.fixture(autouse=True)
+def pristine_tiers():
+    previous = perf.FAST
+    previous_sanitize = sanitize.ENABLED
+    perf.set_fast_paths(True)
+    cache_clear()
+    optstore.destroy()
+    optstore.reset_counters()
+    cacheconf.set_cache_dir(None)
+    yield
+    cache_clear()
+    optstore.destroy()
+    optstore.reset_counters()
+    cacheconf.set_cache_dir(None)
+    sanitize.set_enabled(previous_sanitize)
+    perf.set_fast_paths(previous)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Scalar-reference results: fast paths off, serial."""
+    cache_clear()
+    with perf.fast_paths(False):
+        return run_cells(SPECS, jobs=1)
+
+
+def assert_identical(results, reference):
+    assert len(results) == len(reference)
+    for left, right in zip(results, reference):
+        assert left.app_name == right.app_name
+        assert left.mean_cost_rate == right.mean_cost_rate
+        assert left.cost_dollars == right.cost_dollars
+        assert left.violation_percent == right.violation_percent
+        assert left.records == right.records
+
+
+class TestTierStatesMatchReference:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_cold(self, jobs, reference):
+        assert_identical(run_cells(SPECS, jobs=jobs), reference)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_shm_warm(self, jobs, reference):
+        if optstore.ensure() is None:  # pragma: no cover - no shm
+            pytest.skip("no shared memory on this platform")
+        for app in APPS:
+            warm_app_surfaces(app)
+        cache_clear()  # drop L1 so the run must attach via shm
+        optstore.reset_counters(fleet=True)
+        assert_identical(run_cells(SPECS, jobs=jobs), reference)
+        assert optstore.counters_fleet()["l2_hits"] >= 1
+        assert optstore.counters_fleet()["builds"] == 0
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_disk_warm(self, jobs, reference, tmp_path):
+        cacheconf.set_cache_dir(tmp_path)
+        for app in APPS:
+            warm_app_surfaces(app)
+        cache_clear()
+        optstore.destroy()  # shm gone: only the disk tier stays warm
+        optstore.reset_counters()
+        assert_identical(run_cells(SPECS, jobs=jobs), reference)
+        assert optstore.counters_fleet()["l3_hits"] >= 1
+        assert optstore.counters_fleet()["builds"] == 0
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_sanitized_warm(self, jobs, reference, tmp_path):
+        cacheconf.set_cache_dir(tmp_path)
+        with sanitize.sanitized(True):
+            for app in APPS:
+                warm_app_surfaces(app)
+            cache_clear()
+            assert_identical(run_cells(SPECS, jobs=jobs), reference)
+
+
+class TestReferenceModeBypassesTiers:
+    def test_fast_off_touches_no_tier(self, tmp_path, reference):
+        cacheconf.set_cache_dir(tmp_path)
+        with perf.fast_paths(False):
+            assert_identical(run_cells(SPECS, jobs=1), reference)
+        counts = optstore.counters_local()
+        assert all(value == 0 for value in counts.values())
+        assert cache_info()["size"] == 0
+        assert list(tmp_path.iterdir()) == []
