@@ -24,6 +24,12 @@ against):
   global writes reachable from sweep workers or FAST twins, lock
   discipline in lock-declaring modules, and frozen-only cache
   publishes/lookups.
+* :mod:`repro.analysis.hotpath` — interprocedural performance rules
+  scoped to the *hot set* (functions reachable from the FAST engine
+  entrypoints on the same call graph): quadratic list operations,
+  loop-invariant recomputation, element-wise ndarray loops, and
+  per-iteration allocation in nested loops; also the
+  ``repro lint --hot-report`` cost ranking.
 
 The framework lives in :mod:`repro.analysis.core`; the committed
 findings baseline that lets CI gate only *new* violations lives in
@@ -37,7 +43,14 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis import determinism, effects, numerics, parity, units
+from repro.analysis import (
+    determinism,
+    effects,
+    hotpath,
+    numerics,
+    parity,
+    units,
+)
 from repro.analysis.core import (
     FileContext,
     Finding,
@@ -54,6 +67,7 @@ ALL_RULES: List[Rule] = [
     *numerics.RULES,
     *units.RULES,
     *effects.RULES,
+    *hotpath.RULES,
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

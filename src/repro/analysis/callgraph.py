@@ -43,7 +43,12 @@ from dataclasses import dataclass, field
 from pathlib import PurePosixPath
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.core import FileContext, FunctionNode, parent_of
+from repro.analysis.core import (
+    FileContext,
+    FunctionNode,
+    parent_of,
+    shared_analysis,
+)
 
 #: Method names that mutate the builtin/stdlib containers the engine
 #: uses for module-level state (dict, list, set, OrderedDict, deque).
@@ -200,6 +205,11 @@ class FunctionSummary:
     returned_calls: List[str] = field(default_factory=list)
     returns_cache_lookup: bool = False
     mutations: List[Mutation] = field(default_factory=list)
+    loop_depth: int = 0
+    """Deepest loop nesting in this function's own frame."""
+    scalar_only_calls: FrozenSet[str] = frozenset()
+    """Call targets reached *only* from scalar-twin regions of a
+    ``perf.FAST`` split — hot-set reachability does not follow them."""
 
     @property
     def name(self) -> str:
@@ -263,6 +273,104 @@ def _mentions_fast(condition: ast.expr) -> bool:
             if name == "fast_paths_enabled":
                 return True
     return False
+
+
+#: AST nodes that open one level of iteration for loop-depth purposes.
+#: Comprehensions count: a comprehension inside a ``for`` allocates and
+#: iterates once per outer iteration, exactly the shape the hot-path
+#: rules police.
+LOOP_NODES: Tuple[type, ...] = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _always_exits(body: Sequence[ast.stmt]) -> bool:
+    """Whether a block's last statement unconditionally leaves it."""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _trailing_statements(branch: ast.If) -> List[ast.stmt]:
+    """The statements that follow ``branch`` in its enclosing block."""
+    parent = parent_of(branch)
+    if parent is None:
+        return []
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list) and any(
+            statement is branch for statement in block
+        ):
+            index = next(
+                i for i, statement in enumerate(block) if statement is branch
+            )
+            return list(block[index + 1 :])
+    return []
+
+
+def scalar_region_nodes(node: FunctionNode) -> Set[ast.AST]:
+    """Every AST node inside a scalar-twin region of a ``perf.FAST`` split.
+
+    The engine writes its twins in two shapes, both of which the
+    FAST-parity rule already recognizes:
+
+    * ``if perf.FAST: <fast> else: <scalar>`` — the ``orelse`` block is
+      the scalar twin;
+    * ``if perf.FAST: return <fast>`` followed by fall-through scalar
+      code — the statements after an always-exiting FAST body are the
+      scalar twin (and symmetrically, ``if not perf.FAST: return
+      <scalar>`` marks the *body* scalar).
+
+    Hot-set construction does not follow calls made only from these
+    regions, and the hot-path rules skip findings inside them: the
+    scalar reference is *supposed* to be the slow, recompute-everything
+    baseline.  Requires the parent-annotated tree a
+    :class:`~repro.analysis.core.FileContext` provides.
+    """
+    regions: List[ast.stmt] = []
+    for child in ast.walk(node):
+        if not isinstance(child, ast.If) or not _mentions_fast(child.test):
+            continue
+        negated = isinstance(child.test, ast.UnaryOp) and isinstance(
+            child.test.op, ast.Not
+        )
+        if negated:
+            regions.extend(child.body)
+        else:
+            regions.extend(child.orelse)
+            if _always_exits(child.body) and not child.orelse:
+                regions.extend(_trailing_statements(child))
+    nodes: Set[ast.AST] = set()
+    for statement in regions:
+        nodes.update(ast.walk(statement))
+    return nodes
+
+
+def max_loop_depth(node: FunctionNode) -> int:
+    """Deepest loop nesting in ``node``'s own frame.
+
+    Nested function/class definitions are skipped — their bodies run in
+    their own frames and get their own summaries.
+    """
+
+    def walk(parent: ast.AST, depth: int) -> int:
+        deepest = depth
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            child_depth = depth + 1 if isinstance(child, LOOP_NODES) else depth
+            deepest = max(deepest, walk(child, child_depth))
+        return deepest
+
+    return walk(node, 0)
 
 
 def _relative_base(dotted: str, level: int) -> str:
@@ -550,6 +658,8 @@ class _ModuleScanner:
                             return (dotted, chain[-1])
             return None
 
+        scalar_nodes = scalar_region_nodes(node)
+        nonscalar_targets: Set[str] = set()
         for child in ast.walk(node):
             if isinstance(child, ast.If) and _mentions_fast(child.test):
                 summary.has_fast_branch = True
@@ -557,7 +667,10 @@ class _ModuleScanner:
             if isinstance(child, ast.Call):
                 resolved = resolve_call(child)
                 if resolved is not None:
-                    summary.calls.append("::".join(resolved))
+                    target_key = "::".join(resolved)
+                    summary.calls.append(target_key)
+                    if child not in scalar_nodes:
+                        nonscalar_targets.add(target_key)
                 func = child.func
                 # Same-module call to a lock-assuming *_locked helper.
                 if (
@@ -747,6 +860,10 @@ class _ModuleScanner:
                     summary.returns_cache_lookup = True
         if summary.returned_names & set(summary.cache_bindings):
             summary.returns_cache_lookup = True
+        summary.loop_depth = max_loop_depth(node)
+        summary.scalar_only_calls = frozenset(
+            set(summary.calls) - nonscalar_targets
+        )
         return summary
 
 
@@ -803,12 +920,16 @@ class ProgramGraph:
         return None
 
     def reachable_from(
-        self, roots: Sequence[str]
+        self, roots: Sequence[str], *, follow_scalar_calls: bool = True
     ) -> Dict[str, str]:
         """Function key -> first reaching root, BFS in sorted-root order.
 
         Deterministic: roots are visited in sorted order and each
-        function is attributed to the first root that reaches it.
+        function is attributed to the first root that reaches it.  With
+        ``follow_scalar_calls=False`` the walk ignores call edges that
+        only occur inside scalar-twin regions of a ``perf.FAST`` split —
+        the traversal the hot-path analyzer uses, so scalar references
+        never inherit hotness from their fast siblings.
         """
         origin: Dict[str, str] = {}
         queue: List[Tuple[str, str]] = []
@@ -820,11 +941,23 @@ class ProgramGraph:
             key, root = queue.pop(0)
             summary = self.functions[key]
             for target in summary.calls:
+                if (
+                    not follow_scalar_calls
+                    and target in summary.scalar_only_calls
+                ):
+                    continue
                 callee = self.resolve(target)
                 if callee is not None and callee not in origin:
                     origin[callee] = root
                     queue.append((callee, root))
         return origin
+
+    def class_names(self) -> Set[str]:
+        """Every class defined in any scanned module."""
+        names: Set[str] = set()
+        for module in self.modules.values():
+            names.update(module.classes)
+        return names
 
     def cache_accessors(self) -> Set[str]:
         """Functions that may return a value held in a module cache.
@@ -858,3 +991,14 @@ class ProgramGraph:
         for module in self.modules.values():
             names.update(module.frozen_classes)
         return names
+
+
+def shared_graph(contexts: Sequence[FileContext]) -> ProgramGraph:
+    """The scan-wide :class:`ProgramGraph`, built at most once per scan.
+
+    Every whole-program rule (effects, hot-path) wants the same graph
+    over the same context list; routing them through the
+    :func:`~repro.analysis.core.shared_analysis` memo keeps the lint's
+    own cost linear in the number of program rules.
+    """
+    return shared_analysis(contexts, "callgraph", ProgramGraph.build)

@@ -24,7 +24,8 @@ from repro.analysis.baseline import (
     fingerprints,
     write_baseline,
 )
-from repro.analysis.core import Finding, scan_paths
+from repro.analysis.core import Finding, load_contexts, scan_paths
+from repro.analysis.hotpath import HotReportEntry, hot_report
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +68,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="anchor for repo-relative paths in reports and fingerprints "
         "(default: current directory)",
+    )
+    parser.add_argument(
+        "--hot-report",
+        action="store_true",
+        help="instead of linting, rank hot functions by (loop-nesting "
+        "depth x live hot-path findings); honors --format text/json",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list every registered rule with its scope and one-line "
+        "description, then exit",
     )
 
 
@@ -117,16 +130,82 @@ def _emit_github(findings: List[Finding], stream: TextIO) -> None:
         )
 
 
+def _emit_rules(stream: TextIO) -> None:
+    """``repro lint --rules``: id, scope, description for every rule.
+
+    The scope column tells pragma authors where a rule can fire:
+    ``repo-wide``, ``engine-dirs(...)``, or ``hot-set`` (only inside
+    functions reachable from the FAST engine entrypoints).
+    """
+    width = max(len(rule.id) for rule in ALL_RULES)
+    scope_width = max(len(rule.scope_label) for rule in ALL_RULES)
+    for rule in sorted(ALL_RULES, key=lambda rule: rule.id):
+        stream.write(
+            f"{rule.id:<{width}}  {rule.scope_label:<{scope_width}}  "
+            f"{rule.description}\n"
+        )
+
+
+def _emit_hot_report(
+    entries: List[HotReportEntry], fmt: str, stream: TextIO
+) -> None:
+    """Render the hot-function cost ranking as text or JSON."""
+    if fmt == "json":
+        json.dump(
+            {
+                "version": 1,
+                "hot_functions": [
+                    {
+                        "qualname": entry.qualname,
+                        "module": entry.module,
+                        "path": entry.path,
+                        "line": entry.line,
+                        "root": entry.root,
+                        "loop_depth": entry.depth,
+                        "findings": entry.findings,
+                        "score": entry.score,
+                    }
+                    for entry in entries
+                ],
+            },
+            stream,
+            indent=2,
+        )
+        stream.write("\n")
+        return
+    stream.write(
+        f"{'score':>5} {'depth':>5} {'findings':>8}  "
+        f"{'function':<48} reached from\n"
+    )
+    for entry in entries:
+        stream.write(
+            f"{entry.score:>5} {entry.depth:>5} {entry.findings:>8}  "
+            f"{entry.module + '.' + entry.qualname:<48} {entry.root}\n"
+        )
+    stream.write(f"{len(entries)} hot function(s)\n")
+
+
 def run_lint(
     args: argparse.Namespace, stream: Optional[TextIO] = None
 ) -> int:
     out = stream if stream is not None else sys.stdout
+    if args.rules:
+        _emit_rules(out)
+        return 0
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
     root = Path(args.root) if args.root else Path.cwd()
+    if args.hot_report:
+        contexts, errors = load_contexts(paths, root=root)
+        if errors:
+            for finding in errors:
+                print(finding.render(), file=sys.stderr)
+            return 2
+        _emit_hot_report(hot_report(contexts), args.format, out)
+        return 0
     findings = scan_paths(paths, ALL_RULES, root=root)
 
     baseline_path = Path(args.baseline)

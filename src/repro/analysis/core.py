@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import ast
 import re
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -34,6 +36,8 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
+    TypeVar,
     Union,
 )
 
@@ -77,6 +81,17 @@ class Rule:
     #: Program rules see every scanned file at once (set by
     #: :class:`ProgramRule`); the per-file runner skips them.
     whole_program: bool = False
+
+    @property
+    def scope_label(self) -> str:
+        """Where the rule runs, for ``repro lint --rules`` listings.
+
+        Subclasses may override (the hot-path rules report
+        ``hot-set``).
+        """
+        if self.scoped_dirs:
+            return "engine-dirs(" + ",".join(sorted(self.scoped_dirs)) + ")"
+        return "repo-wide"
 
     def applies_to(self, context: "FileContext") -> bool:
         if self.scoped_dirs is None:
@@ -169,6 +184,50 @@ def parent_of(node: ast.AST) -> Optional[ast.AST]:
     return parent if isinstance(parent, ast.AST) else None
 
 
+_T = TypeVar("_T")
+
+#: Per-scan derived-analysis memo.  Whole-program rules all need the
+#: same expensive artifacts (the call graph, the hot-set view) over the
+#: same ``Sequence[FileContext]``; keying the memo weakly on the first
+#: context ties each cached artifact to the lifetime of its scan
+#: without keeping dead scans alive.  Entries verify the *full* context
+#: tuple by identity, so two scans that merely share a first file never
+#: alias.
+_SHARED_ANALYSES: "weakref.WeakKeyDictionary[FileContext, Dict[str, Tuple[Tuple[FileContext, ...], object]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_analysis(
+    contexts: Sequence["FileContext"],
+    kind: str,
+    build: Callable[[Sequence["FileContext"]], _T],
+) -> _T:
+    """Build-once-per-scan memo for whole-program analysis artifacts.
+
+    ``kind`` namespaces independent artifacts ("graph", "hot") over the
+    same scan.  The memo is identity-based: the cached value is reused
+    only when the incoming context sequence is element-for-element the
+    same objects as the one that built it.
+    """
+    if not contexts:
+        return build(contexts)
+    anchor = contexts[0]
+    incoming = tuple(contexts)
+    slots = _SHARED_ANALYSES.setdefault(anchor, {})
+    hit = slots.get(kind)
+    if hit is not None:
+        cached_contexts, value = hit
+        if len(cached_contexts) == len(incoming) and all(
+            cached is context
+            for cached, context in zip(cached_contexts, incoming)
+        ):
+            return value  # type: ignore[return-value]
+    built = build(contexts)
+    slots[kind] = (incoming, built)
+    return built
+
+
 def walk_functions(tree: ast.AST) -> Iterator[FunctionNode]:
     """Every function/method definition in the tree, outermost first."""
     for node in ast.walk(tree):
@@ -237,22 +296,20 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield from sorted(path.rglob("*.py"))
 
 
-def scan_paths(
+def load_contexts(
     paths: Iterable[Path],
-    rules: Iterable[Rule],
     root: Optional[Path] = None,
-) -> List[Finding]:
-    """Lint every Python file under ``paths`` with ``rules``.
+) -> Tuple[List[FileContext], List[Finding]]:
+    """Parse every Python file under ``paths`` into contexts.
 
     ``root`` anchors the repo-relative display paths (and therefore the
     baseline fingerprints); it defaults to the current directory.  Files
     with syntax errors produce a single ``parse-error`` finding rather
-    than aborting the scan.
+    than aborting the scan, returned alongside the parsed contexts.
     """
     anchor = (root or Path.cwd()).resolve()
-    rule_list = list(rules)
-    findings: List[Finding] = []
     contexts: List[FileContext] = []
+    errors: List[Finding] = []
     for file_path in iter_python_files(paths):
         resolved = file_path.resolve()
         try:
@@ -261,9 +318,9 @@ def scan_paths(
             display = resolved.as_posix()
         source = resolved.read_text(encoding="utf-8")
         try:
-            context = FileContext(display, source)
+            contexts.append(FileContext(display, source))
         except SyntaxError as error:
-            findings.append(
+            errors.append(
                 Finding(
                     path=display,
                     line=error.lineno or 1,
@@ -273,8 +330,18 @@ def scan_paths(
                     snippet="",
                 )
             )
-            continue
-        contexts.append(context)
+    return contexts, errors
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule],
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``."""
+    rule_list = list(rules)
+    contexts, findings = load_contexts(paths, root=root)
+    for context in contexts:
         findings.extend(check_file(context, rule_list))
     findings.extend(check_program(contexts, rule_list))
     findings.sort(key=lambda finding: finding.sort_key)

@@ -53,6 +53,7 @@ from repro.analysis.callgraph import (
     ModuleInfo,
     ProgramGraph,
     analyze_module,
+    shared_graph,
     _terminal_name,
 )
 from repro.analysis.core import FileContext, Finding, ProgramRule, Rule
@@ -81,7 +82,7 @@ class WorkerGlobalWriteRule(ProgramRule):
         self, contexts: Sequence[FileContext]
     ) -> Iterator[Finding]:
         by_path = _context_map(contexts)
-        graph = ProgramGraph.build(contexts)
+        graph = shared_graph(contexts)
         roots = [
             key
             for key, summary in graph.functions.items()
@@ -252,7 +253,7 @@ class CacheMutationRule(ProgramRule):
         self, contexts: Sequence[FileContext]
     ) -> Iterator[Finding]:
         by_path = _context_map(contexts)
-        graph = ProgramGraph.build(contexts)
+        graph = shared_graph(contexts)
         frozen_classes = graph.frozen_class_names()
         accessors = graph.cache_accessors()
         for key in sorted(graph.functions):

@@ -27,8 +27,11 @@ multi-cell figures accept ``--cache-dir`` too and report per-tier
 hit/miss/build counters next to their wall-clock timing.
 ``lint`` runs the domain-aware static-analysis suite
 (:mod:`repro.analysis`) — including the whole-program shared-state
-rules — and gates against the committed baseline; ``--format github``
-emits GitHub Actions ``::error`` annotations for CI.
+rules and the hot-path performance rules scoped to the FAST-engine
+hot set — and gates against the committed baseline; ``--format
+github`` emits GitHub Actions ``::error`` annotations for CI,
+``--rules`` lists every registered rule with its scope, and
+``--hot-report`` ranks hot functions by loop depth × findings.
 """
 
 from __future__ import annotations
@@ -386,7 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("overheads", help="Section VI-A overhead microbenchmarks")
 
     lint_parser = sub.add_parser(
-        "lint", help="domain-aware static analysis with a findings baseline"
+        "lint",
+        help="domain-aware static analysis with a findings baseline "
+        "(--rules lists rules; --hot-report ranks hot functions)",
     )
     from repro.analysis.cli import add_lint_arguments
 

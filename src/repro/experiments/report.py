@@ -141,6 +141,11 @@ def timeseries_table(
     """Render Fig. 2/8/9-style time series as aligned text columns."""
     names = list(results)
     any_run = next(iter(results.values()))
+    # Hoisted out of the row loop: the series is O(intervals) to build,
+    # so computing it per sampled row made the table quadratic.
+    perf_series = {
+        name: results[name].normalized_performance_series() for name in names
+    }
     lines = [
         f"{'Mcycles':>8}"
         + "".join(f"{name + ' $/h':>22}{name + ' perf':>12}" for name in names)
@@ -148,9 +153,7 @@ def timeseries_table(
     for i in range(0, any_run.num_intervals, stride):
         row = f"{any_run.records[i].start_cycle / 1e6:>8.0f}"
         for name in names:
-            run = results[name]
-            record = run.records[i]
-            perf = run.normalized_performance_series()[i]
-            row += f"{record.cost_rate:>22.4f}{perf:>12.2f}"
+            record = results[name].records[i]
+            row += f"{record.cost_rate:>22.4f}{perf_series[name][i]:>12.2f}"
         lines.append(row)
     return "\n".join(lines)

@@ -552,11 +552,9 @@ class MultiSlicePipeline:
                                 )
                                 break
                     prods = tuple(
-                        [
-                            last_writer[reg]
-                            for reg in op.sources
-                            if reg in last_writer
-                        ]
+                        last_writer[reg]
+                        for reg in op.sources
+                        if reg in last_writer
                     )
                     # Steering: first in-flight producer's Slice if
                     # uncongested, else the least-loaded Slice (first

@@ -6,6 +6,7 @@ from repro.analysis.callgraph import (
     ProgramGraph,
     analyze_module,
     module_dotted,
+    shared_graph,
 )
 from repro.analysis.core import FileContext
 
@@ -354,3 +355,196 @@ class TestGraph:
         assert (
             "src/repro/sim/optables.py::operating_point_table" in accessors
         )
+
+
+class TestLoopDepthAndScalarRegions:
+    def test_loop_depth_counts_nesting_and_comprehensions(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                def flat(xs):
+                    return sum(xs)
+
+                def nested(grid):
+                    total = 0
+                    for row in grid:
+                        for x in row:
+                            total += x
+                    return total
+
+                def comp_in_loop(grid):
+                    out = []
+                    for row in grid:
+                        out.append([x for x in row])
+                    return out
+                """,
+            )
+        )
+        depths = {
+            summary.qualname: summary.loop_depth
+            for summary in info.functions.values()
+        }
+        assert depths == {"flat": 0, "nested": 2, "comp_in_loop": 2}
+
+    def test_loop_depth_ignores_nested_function_frames(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                def outer(xs):
+                    def inner(ys):
+                        for y in ys:
+                            pass
+                    return inner(xs)
+                """,
+            )
+        )
+        assert info.functions["src/repro/sim/demo.py::outer"].loop_depth == 0
+        assert (
+            info.functions["src/repro/sim/demo.py::outer.inner"].loop_depth
+            == 1
+        )
+
+    def test_scalar_only_calls_recorded_for_else_branch(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                from repro import perf
+
+                def kernel(x):
+                    if perf.FAST:
+                        return fast(x)
+                    else:
+                        return slow(x)
+
+                def fast(x):
+                    return x
+
+                def slow(x):
+                    return x
+                """,
+            )
+        )
+        summary = info.functions["src/repro/sim/demo.py::kernel"]
+        assert "repro.sim.demo::slow" in summary.scalar_only_calls
+        assert "repro.sim.demo::fast" not in summary.scalar_only_calls
+
+    def test_scalar_only_calls_recorded_for_fallthrough(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                from repro import perf
+
+                def kernel(x):
+                    if perf.FAST:
+                        return fast(x)
+                    return slow(x)
+
+                def fast(x):
+                    return x
+
+                def slow(x):
+                    return x
+                """,
+            )
+        )
+        summary = info.functions["src/repro/sim/demo.py::kernel"]
+        assert "repro.sim.demo::slow" in summary.scalar_only_calls
+
+    def test_call_in_both_regions_is_not_scalar_only(self):
+        info = analyze_module(
+            module(
+                "src/repro/sim/demo.py",
+                """
+                from repro import perf
+
+                def kernel(x):
+                    if perf.FAST:
+                        return shared(x) + 1
+                    return shared(x)
+
+                def shared(x):
+                    return x
+                """,
+            )
+        )
+        summary = info.functions["src/repro/sim/demo.py::kernel"]
+        assert "repro.sim.demo::shared" not in summary.scalar_only_calls
+
+    def test_reachability_can_skip_scalar_edges(self):
+        graph = ProgramGraph.build(
+            [
+                module(
+                    "src/repro/sim/demo.py",
+                    """
+                    from repro import perf
+
+                    def kernel(x):
+                        if perf.FAST:
+                            return fast(x)
+                        return slow(x)
+
+                    def fast(x):
+                        return x
+
+                    def slow(x):
+                        return x
+                    """,
+                )
+            ]
+        )
+        root = "src/repro/sim/demo.py::kernel"
+        full = set(graph.reachable_from([root]))
+        hot = set(graph.reachable_from([root], follow_scalar_calls=False))
+        assert "src/repro/sim/demo.py::slow" in full
+        assert "src/repro/sim/demo.py::slow" not in hot
+        assert "src/repro/sim/demo.py::fast" in hot
+
+
+class TestSharedGraphMemo:
+    def test_same_context_list_builds_once(self):
+        contexts = [
+            module(
+                "src/repro/sim/demo.py",
+                """
+                def f(x):
+                    return x
+                """,
+            )
+        ]
+        first = shared_graph(contexts)
+        second = shared_graph(contexts)
+        assert first is second
+
+    def test_different_context_list_rebuilds(self):
+        source = """
+        def f(x):
+            return x
+        """
+        a = [module("src/repro/sim/demo.py", source)]
+        b = [module("src/repro/sim/demo.py", source)]
+        assert shared_graph(a) is not shared_graph(b)
+
+    def test_class_names_span_modules(self):
+        graph = ProgramGraph.build(
+            [
+                module(
+                    "src/repro/sim/demo.py",
+                    """
+                    class Alpha:
+                        pass
+                    """,
+                ),
+                module(
+                    "src/repro/arch/other.py",
+                    """
+                    class Beta:
+                        pass
+                    """,
+                ),
+            ]
+        )
+        assert graph.class_names() == {"Alpha", "Beta"}

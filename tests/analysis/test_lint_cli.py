@@ -450,3 +450,142 @@ class TestReportFormats:
             line for line in out.splitlines() if line.startswith("::error")
         ]
         assert "0 new finding(s)" in out
+
+
+class TestRulesListing:
+    def test_lists_every_registered_rule_with_scope(self, capsys):
+        from repro.analysis import ALL_RULES
+
+        code, out = run_lint(["--rules"], capsys)
+        assert code == 0
+        for rule in ALL_RULES:
+            assert rule.id in out
+        assert "hot-set" in out
+        assert "repo-wide" in out
+        assert "engine-dirs(" in out
+
+    def test_rules_listing_is_sorted_and_describes(self, capsys):
+        code, out = run_lint(["--rules"], capsys)
+        assert code == 0
+        ids = [line.split()[0] for line in out.splitlines() if line.strip()]
+        assert ids == sorted(ids)
+        hot_line = next(
+            line for line in out.splitlines()
+            if line.startswith("quadratic-listop")
+        )
+        assert "hot-set" in hot_line
+        assert "pop(0)" in hot_line
+
+
+class TestHotReportCLI:
+    def test_text_report_ranks_hot_functions(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/experiments/stats.py",
+            """
+            def run_cell(spec):
+                pending = list(spec)
+                for row in spec:
+                    while pending:
+                        pending.pop(0)
+                return pending
+            """,
+        )
+        code, out = run_lint(
+            [str(tmp_path), "--hot-report", "--root", str(tmp_path)], capsys
+        )
+        assert code == 0
+        assert "run_cell" in out
+        assert "hot function(s)" in out
+
+    def test_json_report_carries_scores(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/experiments/stats.py",
+            """
+            def run_cell(spec):
+                pending = list(spec)
+                for row in spec:
+                    while pending:
+                        pending.pop(0)
+                return pending
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--hot-report",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        (entry,) = [
+            e
+            for e in report["hot_functions"]
+            if e["qualname"] == "run_cell"
+        ]
+        assert entry["loop_depth"] == 2
+        assert entry["findings"] >= 1
+        assert entry["score"] == entry["loop_depth"] * entry["findings"]
+        assert entry["path"] == "pkg/experiments/stats.py"
+
+    def test_repo_tip_hot_report_runs_clean(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_lint(["--hot-report", "--format", "json"], capsys)
+        assert code == 0
+        report = json.loads(out)
+        assert report["hot_functions"]
+        assert all(
+            entry["findings"] == 0 for entry in report["hot_functions"]
+        )
+
+
+class TestHistoricalRegressionsFailTheGate:
+    """The PR 3 / PR 4 performance regressions, replayed via the CLI."""
+
+    def test_pr3_pop0_arrival_drain_fails(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/cloud/provider.py",
+            """
+            class CloudProvider:
+                def run(self, horizon):
+                    arrivals = sorted(self.pending)
+                    for interval in range(horizon):
+                        while arrivals and arrivals[0] <= interval:
+                            tenant = arrivals.pop(0)
+                            self.admit(tenant)
+
+                def admit(self, tenant):
+                    return tenant
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "quadratic-listop" in out
+
+    def test_pr4_per_cycle_sorted_scan_fails(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/pipeline.py",
+            """
+            class MultiSlicePipeline:
+                def _run_event_driven(self, trace):
+                    cycle = 0
+                    window = list(trace)
+                    while window:
+                        for op in sorted(window):
+                            if op <= cycle:
+                                window.remove(op)
+                        cycle += 1
+                    return cycle
+            """,
+        )
+        code, out = run_lint([str(tmp_path), "--no-baseline"], capsys)
+        assert code == 1
+        assert "loop-invariant" in out
