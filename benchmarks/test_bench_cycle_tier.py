@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from repro import perf
+from repro import native, perf
 from repro.arch.counters import CounterKind
 from repro.arch.vcore import VCoreConfig
 from repro.experiments.scenarios import tier_agreement_grid
@@ -134,6 +134,54 @@ def test_trace_generator_speedup(benchmark, announce):
     # The win here is modest (construction + boxing); the floor only
     # guards against the vectorized path regressing below the scalar.
     assert speedup >= 0.75
+
+
+@pytest.mark.benchmark(group="cycle")
+def test_batch_tier_throughput(benchmark, announce):
+    """Struct-of-arrays batch tier >= 8x the per-cell dispatch path.
+
+    Full tier-agreement grid, jobs=1 on both sides so the comparison
+    is pure engine speed: batched lockstep stepping through the
+    compiled kernel versus one object-pipeline run per cell.  Results
+    must be bit-identical; the ``cells_per_second`` series lands in
+    ``BENCH_CYCLE.json``.
+    """
+    if native.batch_core() is None:
+        pytest.skip(f"native batch core unavailable: {native.batch_core_error()}")
+
+    per_cell, per_cell_timing = tier_agreement_grid(jobs=1, batch=False)
+
+    tier_agreement_grid(jobs=1, batch=True)  # warm outside the timed region
+    batched, batched_timing = benchmark.pedantic(
+        lambda: tier_agreement_grid(jobs=1, batch=True),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = (
+        batched_timing["cells_per_second"]
+        / per_cell_timing["cells_per_second"]
+    )
+
+    announce(f"\n=== Batch tier ({batched_timing['cells']} cells) ===")
+    announce(f"per-cell:  {per_cell_timing['cells_per_second']:8.1f} cells/s")
+    announce(f"batched:   {batched_timing['cells_per_second']:8.1f} cells/s")
+    announce(f"speedup:   {speedup:8.1f}x")
+
+    record_bench_cycle(
+        "batch_tier",
+        {
+            "cells_per_second": {
+                "per_cell": per_cell_timing["cells_per_second"],
+                "batched": batched_timing["cells_per_second"],
+            },
+            "per_cell": per_cell_timing,
+            "batched": batched_timing,
+            "speedup": round(speedup, 1),
+        },
+    )
+    assert batched == per_cell
+    # Typically ~9.5x on one core; the floor is the PR's acceptance bar.
+    assert speedup >= 8.0
 
 
 @pytest.mark.benchmark(group="cycle")

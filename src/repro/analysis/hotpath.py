@@ -92,8 +92,10 @@ HOT_ENTRYPOINTS: Tuple[Tuple[str, str], ...] = (
     ("experiments.stats", "run_cell"),
     ("experiments.stats", "run_cells"),
     ("sim.pipeline", "MultiSlicePipeline._run_event_driven"),
+    ("sim.batchpipe", "run_batch"),
     ("cloud.provider", "CloudProvider.run"),
     ("sim.trace", "TraceGenerator.generate"),
+    ("sim.trace", "TraceGenerator.generate_arrays"),
     ("sim.optables", "operating_point_table"),
     ("sim.optables", "ensure_surface"),
     ("sim.optstore", "publish"),

@@ -169,7 +169,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.experiments.stats import record_bench_cycle
 
         results, timing = tier_agreement_grid(
-            instructions=args.intervals or 4000, jobs=args.jobs
+            instructions=args.intervals or 4000,
+            jobs=args.jobs,
+            batch=args.batch,
         )
         print(tier_table(results))
         path = record_bench_cycle("tiers_figure", timing)
@@ -361,6 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="on-disk optable cache root (overrides REPRO_CACHE_DIR)",
+    )
+    figure_parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "advance tier cells in lockstep through the "
+            "struct-of-arrays batch tier (tiers figure only); "
+            "--no-batch dispatches each cell singly"
+        ),
     )
 
     cache_parser = sub.add_parser(

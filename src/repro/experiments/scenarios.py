@@ -638,12 +638,71 @@ def run_tier_cell(
     )
 
 
+def run_tier_batch(cells: Sequence) -> List:
+    """Run a slab of tier cells through the struct-of-arrays batch tier.
+
+    ``cells`` are :class:`~repro.experiments.stats.TierCellSpec`-shaped
+    records (``app_name``, ``phase_index``, ``config``,
+    ``instructions``, ``seed``).  Cells sharing one (phase,
+    instructions, seed) generate and encode their trace exactly once —
+    the normal sweep shape puts the configuration innermost, so a
+    four-config ladder costs one trace — then every cell advances in
+    lockstep through :func:`repro.sim.batchpipe.run_batch`.  Returns
+    one :class:`~repro.sim.ssim.CycleResult` per cell in order, each
+    bit-identical to what :func:`run_tier_cell` produces for the same
+    spec.
+    """
+    from repro.sim.batchpipe import BatchCell, run_batch
+    from repro.sim.ssim import CycleResult, SSim
+    from repro.sim.trace import TraceGenerator
+
+    cells = list(cells)
+    ssim = SSim()
+    traces: Dict[tuple, object] = {}
+    batch = []
+    phases = []
+    for spec in cells:
+        app = get_app(spec.app_name)
+        if not 0 <= spec.phase_index < len(app.phases):
+            raise ValueError(
+                f"{spec.app_name} has {len(app.phases)} phases, "
+                f"got phase_index {spec.phase_index}"
+            )
+        phase = app.phases[spec.phase_index]
+        phases.append(phase)
+        key = (
+            spec.app_name,
+            spec.phase_index,
+            spec.instructions,
+            spec.seed,
+        )
+        trace = traces.get(key)
+        if trace is None:
+            generator = TraceGenerator(
+                phase,
+                ssim.slice_params.physical_registers,
+                seed=spec.seed,
+            )
+            trace = generator.generate_arrays(spec.instructions)
+            traces[key] = trace
+        batch.append(BatchCell(trace=trace, config=spec.config))
+    outcomes = run_batch(batch, ssim.slice_params, ssim.cache_params)
+    return [
+        CycleResult(
+            pipeline=outcome.result,
+            predicted_ipc=ssim.perf_model.ipc(phase, spec.config),
+        )
+        for spec, phase, outcome in zip(cells, phases, outcomes)
+    ]
+
+
 def tier_agreement_grid(
     app_names: Sequence[str] = TIER_APPS,
     configs: Sequence[VCoreConfig] = TIER_CONFIGS,
     instructions: int = 4000,
     seed: int = 0,
     jobs: Optional[int] = 1,
+    batch: bool = True,
 ):
     """The tier-agreement sweep: every (app phase × VCoreConfig) cell.
 
@@ -657,6 +716,12 @@ def tier_agreement_grid(
     ``BENCH_CYCLE.json``.  Cells shard over the same process pool as
     the other sweeps and come back in spec order, so ``jobs`` never
     changes any result.
+
+    ``batch`` (the default) folds the cells into per-worker slabs for
+    the struct-of-arrays batch tier (``repro figure tiers --batch``);
+    ``batch=False`` dispatches every cell singly through the object
+    pipeline path.  Either way the per-cell results are bit-identical
+    — the flag only moves the wall clock.
     """
     import time
 
@@ -687,13 +752,14 @@ def tier_agreement_grid(
         for name, phase_index, config in keys
     ]
     start = time.perf_counter()
-    results = run_cells(specs, jobs=jobs)
+    results = run_cells(specs, jobs=jobs, tier_batch=batch)
     elapsed = time.perf_counter() - start
     reports = dict(zip(keys, results))
     timing = {
         "cells": len(specs),
         "instructions": instructions,
         "jobs": jobs,
+        "batch": batch,
         "wall_seconds": round(elapsed, 4),
         "cells_per_second": round(len(specs) / elapsed, 4) if elapsed else None,
         "apps": names,

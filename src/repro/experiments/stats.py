@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -50,9 +51,15 @@ from repro.experiments.harness import RunResult
 from repro.experiments.scenarios import (
     run_app_with_allocator,
     run_provider_mix,
+    run_tier_batch,
     run_tier_cell,
     warm_app_surfaces,
 )
+
+try:  # POSIX advisory file locks guard the bench-report merge.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
 from repro.sim import optstore
 
 
@@ -174,11 +181,32 @@ class WarmCellSpec:
     l2_sizes_kb: Optional[Tuple[int, ...]] = None
 
 
-AnyCellSpec = Union[CellSpec, ProviderCellSpec, TierCellSpec, WarmCellSpec]
+@dataclass(frozen=True)
+class TierBatchSpec:
+    """A worker-sized batch of tier cells for the struct-of-arrays tier.
+
+    Where a :class:`TierCellSpec` dispatches one (phase, config)
+    simulation, a batch spec carries a whole slab of them so one worker
+    can advance every cell in lockstep through
+    :func:`repro.sim.batchpipe.run_batch` — traces shared across
+    configurations are generated and encoded once, and the stepping
+    cost amortizes over the batch.  Its result is the tuple of
+    per-cell :class:`~repro.sim.ssim.CycleResult`s in cell order,
+    bit-identical to dispatching each cell singly.
+    """
+
+    cells: Tuple[TierCellSpec, ...]
+
+
+AnyCellSpec = Union[
+    CellSpec, ProviderCellSpec, TierCellSpec, TierBatchSpec, WarmCellSpec
+]
 
 
 def run_cell(spec: AnyCellSpec):
     """Run one cell (module-level so process pools can pickle it)."""
+    if isinstance(spec, TierBatchSpec):
+        return tuple(run_tier_batch(spec.cells))
     if isinstance(spec, ProviderCellSpec):
         return run_provider_mix(
             spec.mix,
@@ -238,8 +266,58 @@ def _worker_setup(
         optstore.attach(store)
 
 
+def _group_tier_batches(
+    specs: List[AnyCellSpec], jobs: int
+) -> Tuple[List[AnyCellSpec], List[List[int]]]:
+    """Fold the :class:`TierCellSpec` entries into per-worker batches.
+
+    Returns ``(grouped_specs, slots)`` where ``slots[j]`` lists the
+    original result positions grouped spec ``j`` covers (one position
+    for pass-through specs, a slab of them for a batch).  Tier cells
+    are chunked contiguously into at most ``jobs`` batches so every
+    worker receives one slab; order within and across slabs is the
+    original spec order, keeping sharded results byte-stable.
+    """
+    tier_positions = [
+        index
+        for index, spec in enumerate(specs)
+        if isinstance(spec, TierCellSpec)
+    ]
+    if len(tier_positions) <= 1:
+        return specs, [[index] for index in range(len(specs))]
+    batches = min(jobs, len(tier_positions))
+    size, extra = divmod(len(tier_positions), batches)
+    chunks: List[List[int]] = []
+    cursor = 0
+    for index in range(batches):
+        take = size + (1 if index < extra else 0)
+        chunks.append(tier_positions[cursor : cursor + take])
+        cursor += take
+    grouped: List[AnyCellSpec] = []
+    slots: List[List[int]] = []
+    chunk_index = 0
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, TierCellSpec):
+            grouped.append(spec)
+            slots.append([index])
+            continue
+        if chunk_index < len(chunks) and index == chunks[chunk_index][0]:
+            chunk = chunks[chunk_index]
+            chunk_index += 1
+            grouped.append(
+                TierBatchSpec(
+                    cells=tuple(specs[position] for position in chunk)
+                )
+            )
+            slots.append(list(chunk))
+        # Tier cells that are not a chunk head ride inside their batch.
+    return grouped, slots
+
+
 def run_cells(
-    specs: Sequence[AnyCellSpec], jobs: Optional[int] = None
+    specs: Sequence[AnyCellSpec],
+    jobs: Optional[int] = None,
+    tier_batch: bool = False,
 ) -> List:
     """Run every cell; results come back in spec order regardless of
     completion order (``ProcessPoolExecutor.map`` preserves input
@@ -248,12 +326,30 @@ def run_cells(
     slot carries whatever its spec kind produces (a
     :class:`~repro.experiments.harness.RunResult` or a
     :class:`~repro.cloud.provider.ProviderReport`).
+
+    With ``tier_batch`` enabled the :class:`TierCellSpec` entries are
+    grouped into per-worker :class:`TierBatchSpec` slabs before
+    dispatch and the slab results are flattened back into the original
+    slots afterwards — the struct-of-arrays tier then advances each
+    slab's cells in lockstep.  Batching is invisible in the results
+    (bit-identical per cell); it only changes the wall clock.
     """
     specs = list(specs)
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if tier_batch:
+        grouped, slots = _group_tier_batches(specs, jobs)
+        grouped_results = run_cells(grouped, jobs=jobs)
+        flat: List = [None] * len(specs)
+        for spec, positions, result in zip(grouped, slots, grouped_results):
+            if isinstance(spec, TierBatchSpec):
+                for position, cell_result in zip(positions, result):
+                    flat[position] = cell_result
+            else:
+                flat[positions[0]] = result
+        return flat
     if jobs == 1 or len(specs) <= 1:
         return [run_cell(spec) for spec in specs]
     # Stand up the cross-process table store before the pool exists so
@@ -454,20 +550,43 @@ def record_bench_perf(
 ) -> Path:
     """Merge ``payload`` under ``section`` in the timing report file.
 
-    Read-modify-write with an atomic replace, so repeated benchmark
-    runs accumulate sections instead of clobbering each other.
+    Concurrency-safe merge-update: the read-merge-write runs under an
+    advisory file lock (on POSIX hosts) and the new report is staged in
+    a unique temp file in the target directory then published with an
+    atomic rename — so parallel benchmark runs writing different
+    sections interleave cleanly instead of one clobbering the other's
+    keys, and a reader never observes a half-written file.
     """
     target = Path(path)
-    data: Dict[str, object] = {}
-    if target.exists():
+    lock_path = target.with_name(target.name + ".lock")
+    lock_handle = None
+    if fcntl is not None:
+        lock_handle = open(lock_path, "a+")
+        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+    try:
+        data: Dict[str, object] = {}
+        if target.exists():
+            try:
+                data = json.loads(target.read_text())
+            except (OSError, ValueError):
+                data = {}
+        data[section] = payload
+        handle, scratch_name = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+        )
         try:
-            data = json.loads(target.read_text())
-        except (OSError, ValueError):
-            data = {}
-    data[section] = payload
-    scratch = target.with_name(target.name + ".tmp")
-    scratch.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    scratch.replace(target)
+            with os.fdopen(handle, "w") as scratch:
+                scratch.write(
+                    json.dumps(data, indent=2, sort_keys=True) + "\n"
+                )
+            os.replace(scratch_name, target)
+        finally:
+            if os.path.exists(scratch_name):
+                os.unlink(scratch_name)
+    finally:
+        if lock_handle is not None:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+            lock_handle.close()
     return target
 
 

@@ -42,6 +42,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import perf
 from repro.arch.counters import CounterKind, PerformanceCounters
 from repro.arch.params import CacheParams, SliceParams
@@ -50,6 +52,7 @@ from repro.arch.vcore import VCoreConfig
 from repro.sim.isa import MicroOp, OpKind
 from repro.sim.branch import FrontEndPredictor
 from repro.sim.memsys import MemorySystem
+from repro.sim.soa import ordered_unique
 
 _FRONT_END_DEPTH = 7
 """Fetch/decode/rename depth: the redirect penalty after a mispredict
@@ -122,13 +125,30 @@ class MultiSlicePipeline:
         return self._operand_hops
 
     def _prewarm(self, trace: Sequence[MicroOp]) -> None:
-        """Install the trace's code footprint (steady-state fetch)."""
-        code = []
-        seen = set()
-        for op in trace:
-            if op.code_address is not None and op.code_address not in seen:
-                seen.add(op.code_address)
-                code.append(op.code_address)
+        """Install the trace's code footprint (steady-state fetch).
+
+        Install order decides LRU state, so both dedup paths preserve
+        first-occurrence order: the FAST path through the SoA column
+        dedup (``np.unique`` + first-index re-sort), the scalar twin
+        through the seen-set loop.
+        """
+        if perf.FAST:
+            columns = np.fromiter(
+                (
+                    -1 if op.code_address is None else op.code_address
+                    for op in trace
+                ),
+                dtype=np.int64,
+                count=len(trace),
+            )
+            code = ordered_unique(columns).tolist()
+        else:
+            code = []
+            seen = set()
+            for op in trace:
+                if op.code_address is not None and op.code_address not in seen:
+                    seen.add(op.code_address)
+                    code.append(op.code_address)
         if code:
             self.memory.prewarm_code(code)
 

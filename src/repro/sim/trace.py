@@ -33,6 +33,7 @@ import numpy as np
 from repro import perf
 from repro.analysis import sanitize
 from repro.sim.isa import MicroOp, OpKind
+from repro.sim.soa import TraceArrays
 from repro.workloads.phase import Phase
 
 _BLOCK_BYTES = 64
@@ -721,6 +722,319 @@ class TraceGenerator:
         self._branch_bias.update(bias)
         self._branch_target.update(branch_target)
         return ops, pc, hot
+
+    def generate_arrays(self, count: int) -> TraceArrays:
+        """Generate ``count`` micro-ops directly as :class:`TraceArrays`.
+
+        Semantically identical to ``TraceArrays.from_ops(self.generate
+        (count))`` — same RNG draw sequence, same generator state
+        afterwards — but the FAST path decodes straight into columns,
+        skipping :class:`MicroOp` construction entirely.  This is the
+        entry the batch cycle tier uses, where per-object overhead
+        would dominate the whole run.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if perf.FAST:
+            return self._generate_arrays_fast(count)
+        return TraceArrays.from_ops(self._generate_reference(count))
+
+    def _generate_arrays_fast(self, count: int) -> TraceArrays:
+        """FAST twin of the ``from_ops``-over-reference path.
+
+        Mirrors :meth:`_generate_fast`'s state handling exactly: decode
+        from a synced word stream, write back PC / hot set / RNG state
+        only on success, fall back to the scalar path when one op
+        overruns the refill margin.
+        """
+        stream = _WordStream(self.rng.getstate())
+        try:
+            columns, pc, hot = self._decode_fields(count, stream)
+        except IndexError:  # pragma: no cover - needs ~4096-word op
+            return TraceArrays.from_ops(self._generate_reference(count))
+        self._pc = pc
+        self._hot_blocks.clear()
+        self._hot_blocks.extend(hot)
+        stream.resync(self.rng)
+        (kinds, src0, src1, dest, addr, mis, code, taken, target) = columns
+        # ``from_ops`` sizes the source matrix to the widest op, so the
+        # fast path must shrink to one column when no op drew a second
+        # source (possible for tiny counts).
+        if max(src1) >= 0:
+            sources = np.stack(
+                [
+                    np.array(src0, dtype=np.int64),
+                    np.array(src1, dtype=np.int64),
+                ],
+                axis=1,
+            )
+        else:
+            sources = np.array(src0, dtype=np.int64).reshape(-1, 1)
+        return TraceArrays(
+            kinds=np.array(kinds, dtype=np.int8),
+            sources=sources,
+            dests=np.array(dest, dtype=np.int64),
+            addresses=np.array(addr, dtype=np.int64),
+            mispredicted=np.array(mis, dtype=np.bool_),
+            code_addresses=np.array(code, dtype=np.int64),
+            taken=np.array(taken, dtype=np.int8),
+            branch_targets=np.array(target, dtype=np.int64),
+        )
+
+    def _decode_fields(self, count: int, stream: _WordStream):
+        """Column-emitting variant of :meth:`_decode_ops`.
+
+        Identical draw-for-draw decode, but each op appends nine scalar
+        column entries (kind code, two sources, dest, address,
+        mispredict, code address, taken, branch target — ``-1`` for
+        ``None``) instead of building a :class:`MicroOp`.  Returns
+        ``(columns, pc, hot)``; state write-back rules match
+        ``_decode_ops``.
+        """
+        phase = self.phase
+        mem_fraction = phase.mem_refs_per_inst
+        branch_cut = mem_fraction + phase.branch_fraction
+        mispredict_rate = phase.mispredict_rate
+        l1_miss_rate = phase.l1_miss_rate
+        num_registers = self.num_registers
+        reg_shift = 53 - num_registers.bit_length()
+        code_blocks = self._code_blocks
+        code_shift = 53 - code_blocks.bit_length()
+        hard_fraction = self._hard_fraction
+        bias = dict(self._branch_bias)
+        branch_target = dict(self._branch_target)
+        sweep = list(self._sweep_position)
+        working_set = phase.working_set
+        region_blocks = [
+            max(size_kb * 1024 // _BLOCK_BYTES, 1)
+            for size_kb, _fraction in working_set
+        ]
+        streaming_blocks = (256 << 20) // _BLOCK_BYTES
+        pc = self._pc
+        hot = list(self._hot_blocks)
+        mean = max(phase.ilp, 1.0)
+        p_geo = 1.0 / (mean + 1.0)
+        code_base = 2 << 40
+        block_bytes = _BLOCK_BYTES
+        hot_cap = _HOT_SET_BLOCKS
+
+        floats = stream.floats
+        cursor = stream.cursor
+        limit = stream.limit
+
+        kinds_col: List[int] = []
+        src0_col: List[int] = []
+        src1_col: List[int] = []
+        dest_col: List[int] = []
+        addr_col: List[int] = []
+        mis_col: List[bool] = []
+        code_col: List[int] = []
+        taken_col: List[int] = []
+        target_col: List[int] = []
+        append_kind = kinds_col.append
+        append_src0 = src0_col.append
+        append_src1 = src1_col.append
+        append_dest = dest_col.append
+        append_addr = addr_col.append
+        append_mis = mis_col.append
+        append_code = code_col.append
+        append_taken = taken_col.append
+        append_target = target_col.append
+
+        for op_id in range(count):
+            if cursor > limit:
+                stream.cursor = cursor
+                stream.refill()
+                floats = stream.floats
+                cursor = stream.cursor
+                limit = stream.limit
+            # _dependency_distance: geometric via repeated random().
+            distance = 1
+            value = floats[cursor]
+            cursor += 2
+            while value > p_geo and distance < 64:
+                distance += 1
+                value = floats[cursor]
+                cursor += 2
+            producer = op_id - distance
+            src0 = dest_col[producer] if producer >= 0 else -1
+            if src0 < 0:
+                # randrange(num_registers): top-bits rejection sample.
+                src0 = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                cursor += 1
+                while src0 >= num_registers:
+                    src0 = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                    cursor += 1
+            src1 = -1
+            value = floats[cursor]
+            cursor += 2
+            if value < 0.6:
+                # randint(16, 64) == 16 + _randbelow(49).
+                step = int(floats[cursor] * 9007199254740992.0) >> 47
+                cursor += 1
+                while step >= 49:
+                    step = int(floats[cursor] * 9007199254740992.0) >> 47
+                    cursor += 1
+                stale = op_id - 16 - step
+                back = dest_col[stale] if stale >= 0 else -1
+                if back < 0:
+                    back = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                    cursor += 1
+                    while back >= num_registers:
+                        back = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                        cursor += 1
+                src1 = back
+            dest = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+            cursor += 1
+            while dest >= num_registers:
+                dest = int(floats[cursor] * 9007199254740992.0) >> reg_shift
+                cursor += 1
+            draw = floats[cursor]
+            cursor += 2
+            # Triage ordered by frequency, exactly like _decode_ops.
+            if draw >= branch_cut:
+                # ALU op.
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                append_kind(0)
+                append_src0(src0)
+                append_src1(src1)
+                append_dest(dest)
+                append_addr(-1)
+                append_mis(False)
+                append_code(code_address)
+                append_taken(-1)
+                append_target(-1)
+            elif draw < mem_fraction:
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                value = floats[cursor]
+                cursor += 2
+                is_load = value < 0.7
+                # _address: hot-set re-touch or cold sweep.
+                address = -1
+                if hot:
+                    value = floats[cursor]
+                    cursor += 2
+                    if value > l1_miss_rate:
+                        # choice(hot): _randbelow(len(hot)).
+                        size = len(hot)
+                        shift = 53 - size.bit_length()
+                        pick = int(floats[cursor] * 9007199254740992.0) >> shift
+                        cursor += 1
+                        while pick >= size:
+                            pick = int(floats[cursor] * 9007199254740992.0) >> shift
+                            cursor += 1
+                        address = hot[pick]
+                if address < 0:
+                    # _cold_address: working-set sweep or streaming.
+                    value = floats[cursor]
+                    cursor += 2
+                    cumulative = 0.0
+                    previous_fraction = 0.0
+                    base = 0
+                    for index, (_size_kb, fraction) in enumerate(working_set):
+                        cumulative += fraction - previous_fraction
+                        if value < cumulative:
+                            blocks = region_blocks[index]
+                            position = sweep[index]
+                            sweep[index] = (position + 1) % blocks
+                            address = base + position * block_bytes
+                            break
+                        previous_fraction = fraction
+                        base += 1 << 30
+                    else:
+                        block = int(floats[cursor] * 9007199254740992.0) >> 30
+                        cursor += 1
+                        while block >= streaming_blocks:
+                            block = int(floats[cursor] * 9007199254740992.0) >> 30
+                            cursor += 1
+                        address = (1 << 34) + block * block_bytes
+                    hot.append(address)
+                    if len(hot) > hot_cap:
+                        del hot[0]
+                if is_load:
+                    append_kind(1)
+                    append_src0(src0)
+                    append_src1(-1)
+                    append_dest(dest)
+                else:
+                    append_kind(2)
+                    append_src0(src0)
+                    append_src1(src1)
+                    append_dest(-1)
+                append_addr(address)
+                append_mis(False)
+                append_code(code_address)
+                append_taken(-1)
+                append_target(-1)
+            else:
+                # Branch: a taken branch may jump the PC before the
+                # code address is formed (_code_address).
+                value = floats[cursor]
+                cursor += 2
+                if value < 0.6:
+                    pc = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                    cursor += 1
+                    while pc >= code_blocks:
+                        pc = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                        cursor += 1
+                code_address = code_base + pc * block_bytes
+                value = floats[cursor]
+                cursor += 2
+                if value < 1.0 / 16.0:
+                    pc = (pc + 1) % code_blocks
+                # _branch_behaviour: first visit fixes bias + target.
+                branch_bias = bias.get(code_address)
+                if branch_bias is None:
+                    value = floats[cursor]
+                    cursor += 2
+                    branch_bias = 0.5 if value < hard_fraction else 0.97
+                    bias[code_address] = branch_bias
+                    block = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                    cursor += 1
+                    while block >= code_blocks:
+                        block = int(floats[cursor] * 9007199254740992.0) >> code_shift
+                        cursor += 1
+                    branch_target[code_address] = (
+                        code_base + block * block_bytes
+                    )
+                value = floats[cursor]
+                cursor += 2
+                taken = value < branch_bias
+                value = floats[cursor]
+                cursor += 2
+                append_kind(3)
+                append_src0(src0)
+                append_src1(-1)
+                append_dest(-1)
+                append_addr(-1)
+                append_mis(value < mispredict_rate)
+                append_code(code_address)
+                append_taken(1 if taken else 0)
+                append_target(branch_target[code_address])
+        stream.cursor = cursor
+        self._sweep_position[:] = sweep
+        self._branch_bias.update(bias)
+        self._branch_target.update(branch_target)
+        columns = (
+            kinds_col,
+            src0_col,
+            src1_col,
+            dest_col,
+            addr_col,
+            mis_col,
+            code_col,
+            taken_col,
+            target_col,
+        )
+        return columns, pc, hot
 
     @staticmethod
     def stats(ops: List[MicroOp]) -> TraceStats:

@@ -836,6 +836,11 @@ class TestRepoTipIsClean:
         assert ("repro.cloud.provider", "CloudProvider.run") in hot
         assert ("repro.sim.trace", "TraceGenerator.generate") in hot
         assert ("repro.sim.optstore", "publish") in hot
+        assert ("repro.sim.batchpipe", "run_batch") in hot
+        assert (
+            "repro.sim.trace",
+            "TraceGenerator.generate_arrays",
+        ) in hot
 
     def test_scalar_references_are_not_hot(self):
         contexts, errors = load_contexts(
@@ -845,6 +850,90 @@ class TestRepoTipIsClean:
         view = hot_view(contexts)
         names = {view.graph.functions[key].qualname for key in view.hot}
         assert not any(name.endswith("_reference") for name in names)
+
+
+class TestBatchTierEntrypoints:
+    """The PR's new roots: ``run_batch`` and ``generate_arrays``.
+
+    Trigger/no-trigger twins proving hotness flows from the batch-tier
+    entrypoints into their callees, while the scalar reference twins
+    stay exempt.
+    """
+
+    def test_run_batch_callee_regression_fires(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/batchpipe.py": """
+                def run_batch(cells):
+                    return _pool(cells)
+
+                def _pool(cells):
+                    pending = list(cells)
+                    while pending:
+                        cell = pending.pop(0)
+                    return cell
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert rules_of(findings) == {"quadratic-listop"}
+        assert ".pop(0)" in findings[0].message
+
+    def test_run_batch_reference_twin_is_exempt(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/batchpipe.py": """
+                def run_batch(cells):
+                    return _pool_reference(cells)
+
+                def _pool_reference(cells):
+                    pending = list(cells)
+                    while pending:
+                        cell = pending.pop(0)
+                    return cell
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert findings == []
+
+    def test_generate_arrays_callee_regression_fires(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/trace.py": """
+                class TraceGenerator:
+                    def generate_arrays(self, count):
+                        return _decode(count)
+
+                def _decode(count):
+                    out = []
+                    for i in range(count):
+                        out = out + [i]
+                    return out
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert rules_of(findings) == {"quadratic-listop"}
+
+    def test_cold_sibling_method_is_ignored(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/sim/trace.py": """
+                class TraceGenerator:
+                    def generate_arrays(self, count):
+                        return list(range(count))
+
+                    def describe(self):
+                        out = []
+                        for name in self.names:
+                            out = out + [name]
+                        return out
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert findings == []
 
 
 class TestLintSelfPerformance:
