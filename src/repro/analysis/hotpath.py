@@ -11,7 +11,8 @@ the PR 5 call graph, plus four rules that only fire inside the hot set.
 **The hot set.**  A function is *hot* when it is reachable on the call
 graph from a FAST engine entrypoint (:data:`HOT_ENTRYPOINTS` — the
 sweep workers, the event-driven cycle tier, the provider loop, the
-trace generator, the operating-point build/publish paths) or from any
+always-on service loop and its traffic generator, the trace generator,
+the operating-point build/publish paths) or from any
 function containing a ``perf.FAST`` split.  Two exemptions keep the
 scalar references out by construction:
 
@@ -94,6 +95,9 @@ HOT_ENTRYPOINTS: Tuple[Tuple[str, str], ...] = (
     ("sim.pipeline", "MultiSlicePipeline._run_event_driven"),
     ("sim.batchpipe", "run_batch"),
     ("cloud.provider", "CloudProvider.run"),
+    ("cloud.service", "ServiceEngine.run"),
+    ("cloud.service", "ServiceEngine._run_event_driven"),
+    ("cloud.traffic", "generate_traffic"),
     ("sim.trace", "TraceGenerator.generate"),
     ("sim.trace", "TraceGenerator.generate_arrays"),
     ("sim.optables", "operating_point_table"),

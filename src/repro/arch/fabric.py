@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -42,6 +43,34 @@ from repro.arch.vcore import VCoreConfig
 
 class FabricError(RuntimeError):
     """Raised when an allocation request cannot be satisfied."""
+
+
+#: Process-wide cache of all-pairs Manhattan distance matrices, keyed by
+#: fabric geometry.  The matrix depends only on (width, height), so one
+#: copy serves every fabric of that shape and never enters checkpoints.
+_DISTANCE_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+_DISTANCE_LOCK = threading.Lock()
+
+
+def _distance_matrix(width: int, height: int) -> np.ndarray:
+    """All-pairs Manhattan distances between flat tile indices.
+
+    Flat index ``y * width + x`` matches the row-major order tiles are
+    created in, so gathering rows/columns of this matrix for the free
+    set reproduces the distances the scalar scan computes pairwise.
+    """
+    key = (width, height)
+    with _DISTANCE_LOCK:
+        cached = _DISTANCE_CACHE.get(key)
+        if cached is None:
+            ys, xs = np.divmod(
+                np.arange(width * height, dtype=np.int64), width
+            )
+            cached = np.abs(xs[:, None] - xs[None, :]) + np.abs(
+                ys[:, None] - ys[None, :]
+            )
+            _DISTANCE_CACHE[key] = cached
+        return cached
 
 
 class TileKind(enum.Enum):
@@ -256,10 +285,14 @@ class Fabric:
         seeds = self._free_positions(TileKind.SLICE)
         if len(seeds) < need_slices:
             return None
-        seed_arr = np.asarray(seeds, dtype=np.int64)
-        slice_distances = np.abs(
-            seed_arr[:, None, :] - seed_arr[None, :, :]
-        ).sum(axis=2)
+        width = self.width
+        distances = _distance_matrix(width, self.height)
+        seed_ids = np.fromiter(
+            (y * width + x for x, y in seeds),
+            dtype=np.intp,
+            count=len(seeds),
+        )
+        slice_distances = distances[np.ix_(seed_ids, seed_ids)]
         spans = np.partition(slice_distances, need_slices - 1, axis=1)[
             :, need_slices - 1
         ]
@@ -267,10 +300,12 @@ class Fabric:
             banks = self._free_positions(TileKind.L2_BANK)
             if len(banks) < need_banks:
                 return None
-            bank_arr = np.asarray(banks, dtype=np.int64)
-            bank_distances = np.abs(
-                seed_arr[:, None, :] - bank_arr[None, :, :]
-            ).sum(axis=2)
+            bank_ids = np.fromiter(
+                (y * width + x for x, y in banks),
+                dtype=np.intp,
+                count=len(banks),
+            )
+            bank_distances = distances[np.ix_(seed_ids, bank_ids)]
             bank_spans = np.partition(bank_distances, need_banks - 1, axis=1)[
                 :, need_banks - 1
             ]
@@ -373,6 +408,33 @@ class Fabric:
         self._allocations[vcore_id] = allocation
         return allocation
 
+    def try_allocate_exact(self, allocation: Allocation) -> bool:
+        """Re-seat a previously released allocation on its exact tiles.
+
+        The event-driven service parks idle tenants (releasing their
+        tiles) and re-seats them when the next burst arrives; if the
+        old region is still free this is O(region) — no seed search,
+        no growth.  Returns False (fabric untouched) when any old tile
+        is taken, in which case the caller falls back to a regular
+        :meth:`allocate`.
+        """
+        if allocation.vcore_id in self._allocations:
+            raise FabricError(
+                f"vcore {allocation.vcore_id} already allocated"
+            )
+        for position in allocation.positions:
+            tile = self._tiles.get(position)
+            if tile is None or not tile.is_free:
+                return False
+        for position in allocation.positions:
+            tile = self._tiles[position]
+            tile.owner_vcore = allocation.vcore_id
+            self._free_index[tile.kind].discard(position)
+        for position in allocation.slice_positions:
+            self._tiles[position].slice_unit.owner_vcore = allocation.vcore_id
+        self._allocations[allocation.vcore_id] = allocation
+        return True
+
     def release(self, vcore_id: int) -> None:
         allocation = self._allocations.pop(vcore_id, None)
         if allocation is None:
@@ -398,6 +460,26 @@ class Fabric:
     @property
     def allocations(self) -> Dict[int, Allocation]:
         return dict(self._allocations)
+
+    def allocation_for(self, vcore_id: int) -> Optional[Allocation]:
+        """O(1) lookup without the defensive copy ``allocations`` takes."""
+        return self._allocations.get(vcore_id)
+
+    def has_allocation(self, vcore_id: int) -> bool:
+        return vcore_id in self._allocations
+
+    def occupied_tiles(self) -> int:
+        """How many tiles are owned right now (integer utilization twin).
+
+        The service engine accounts utilization in exact integer
+        tile-intervals so that multiplying over a skipped idle stretch
+        equals per-interval accumulation bit for bit.
+        """
+        total = len(self._tiles)
+        if perf.FAST:
+            free = sum(len(index) for index in self._free_index.values())
+            return total - free
+        return sum(1 for tile in self._tiles.values() if not tile.is_free)
 
     def utilization(self) -> float:
         total = len(self._tiles)

@@ -6,6 +6,7 @@ Usage::
     python -m repro run --app x264 --allocator cash --intervals 1000
     python -m repro figure tab3 --jobs 4
     python -m repro figure multitenant --jobs 4
+    python -m repro figure service --jobs 4
     python -m repro figure tiers --jobs 4
     python -m repro sweep --seeds 0 1 2 --jobs 8
     python -m repro cache info
@@ -61,6 +62,7 @@ FIGURES = (
     "tab3",
     "sec6a",
     "multitenant",
+    "service",
     "tiers",
 )
 
@@ -160,6 +162,24 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(
             f"{timing['cells']} provider cells in "
             f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s); "
+            f"timing recorded in {path}"
+        )
+        print(_store_summary(timing["optable_store"]))
+    elif name == "service":
+        from repro.experiments.report import service_table
+        from repro.experiments.scenarios import service_grid
+        from repro.experiments.stats import record_bench_cloud
+
+        reports, timing = service_grid(
+            horizon=args.intervals or 2000, jobs=args.jobs
+        )
+        print(service_table(reports))
+        path = record_bench_cloud("service_figure", timing)
+        print(
+            f"{timing['cells']} service cells covering "
+            f"{timing['tenant_intervals']} tenant-intervals in "
+            f"{timing['wall_seconds']:.2f}s with {timing['jobs']} job(s) "
+            f"({timing['tenant_intervals_per_second']} tenant-intervals/s); "
             f"timing recorded in {path}"
         )
         print(_store_summary(timing["optable_store"]))
@@ -329,7 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "worker processes for multi-cell figures "
-            "(fig7/tab3/fig10/multitenant/tiers)"
+            "(fig7/tab3/fig10/multitenant/service/tiers)"
         ),
     )
 
@@ -413,7 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--outdir", default="data")
     export_parser.add_argument(
         "--name",
-        choices=sorted(set(FIGURES) - {"fig2", "sec6a", "multitenant", "tiers"}),
+        choices=sorted(
+            set(FIGURES) - {"fig2", "sec6a", "multitenant", "service", "tiers"}
+        ),
         default=None,
     )
     return parser

@@ -15,7 +15,14 @@ top of the architecture and runtime layers:
   footprint spatially (defragmenting when fragmentation blocks a
   resize), and bills by area-time;
 * :mod:`repro.cloud.admission` — worst-case-footprint admission
-  control.
+  control;
+* :mod:`repro.cloud.traffic` — open-loop tenant demand: seeded churn,
+  diurnal curves, flash crowds and MMPP-style bursts, materialized as
+  per-tenant activity timelines;
+* :mod:`repro.cloud.service` — the always-on event-driven service: one
+  min-heap of (interval, kind, tenant) events, controller steps only
+  where traffic queued work, idle stretches skipped exactly, streaming
+  metrics and checkpoint/restore for long horizons.
 
 Because CASH isolates tenants spatially (own Slices, own banks — the
 paper's answer to SMT-style resource thrashing), tenants do not disturb
@@ -28,6 +35,18 @@ silicon at the same QoS.
 from repro.cloud.tenant import Tenant, TenantAccount
 from repro.cloud.provider import CloudProvider, ProviderReport
 from repro.cloud.admission import AdmissionController, AdmissionDecision
+from repro.cloud.traffic import (
+    TenantTraffic,
+    TrafficScenario,
+    TrafficSpec,
+    generate_traffic,
+)
+from repro.cloud.service import (
+    MetricsSink,
+    ServiceAccount,
+    ServiceEngine,
+    ServiceReport,
+)
 
 __all__ = [
     "Tenant",
@@ -36,4 +55,12 @@ __all__ = [
     "ProviderReport",
     "AdmissionController",
     "AdmissionDecision",
+    "TenantTraffic",
+    "TrafficScenario",
+    "TrafficSpec",
+    "generate_traffic",
+    "MetricsSink",
+    "ServiceAccount",
+    "ServiceEngine",
+    "ServiceReport",
 ]

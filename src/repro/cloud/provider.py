@@ -46,12 +46,49 @@ from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPA
 from repro.baselines.race import RaceToIdleAllocator
 from repro.cloud.admission import AdmissionController, AdmissionDecision
 from repro.cloud.tenant import Tenant, TenantAccount
-from repro.experiments.harness import CASHAllocator, _PhaseWalker
+from repro.experiments.harness import Allocator, CASHAllocator, _PhaseWalker
 from repro.runtime.cash import LegObservation, QoSMeasurement
 from repro.runtime.optimizer import ConfigPoint, Schedule, ScheduleEntry
 from repro.sim.optables import operating_point_table
 from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
 from repro.workloads.phase import Phase
+
+
+def build_tenant_allocator(
+    tenant: Tenant,
+    reservation: VCoreConfig,
+    space: ConfigurationSpace,
+    cost_model: CostModel,
+) -> Allocator:
+    """The allocator a tenant's policy selects, bounded by its reservation.
+
+    Shared by the dense provider loop and the event-driven service so
+    both engines hand identical controller state to identical tenants.
+    """
+    if tenant.policy == "race":
+        return RaceToIdleAllocator(
+            config=reservation,
+            qos_goal=tenant.qos_goal,
+            cost_model=cost_model,
+        )
+    # The tenant's menu is bounded by its admitted reservation:
+    # admission guaranteed capacity for the worst-case virtual
+    # core, so every configuration within it is placeable by
+    # construction (only fragmentation can interfere, and
+    # defragmentation fixes that).  Bursting beyond the reservation
+    # when the fabric has slack is a possible extension.
+    menu = [
+        config
+        for config in space
+        if config.slices <= reservation.slices
+        and config.l2_banks <= reservation.l2_banks
+    ]
+    return CASHAllocator(
+        configs=menu,
+        qos_goal=tenant.qos_goal,
+        cost_model=cost_model,
+        seed=tenant.tenant_id,
+    )
 
 
 @dataclass
@@ -119,29 +156,8 @@ class CloudProvider:
 
     # ------------------------------------------------------------------
     def _build_allocator(self, tenant: Tenant, reservation: VCoreConfig):
-        if tenant.policy == "race":
-            return RaceToIdleAllocator(
-                config=reservation,
-                qos_goal=tenant.qos_goal,
-                cost_model=self.cost_model,
-            )
-        # The tenant's menu is bounded by its admitted reservation:
-        # admission guaranteed capacity for the worst-case virtual
-        # core, so every configuration within it is placeable by
-        # construction (only fragmentation can interfere, and
-        # defragmentation fixes that).  Bursting beyond the reservation
-        # when the fabric has slack is a possible extension.
-        menu = [
-            config
-            for config in self.space
-            if config.slices <= reservation.slices
-            and config.l2_banks <= reservation.l2_banks
-        ]
-        return CASHAllocator(
-            configs=menu,
-            qos_goal=tenant.qos_goal,
-            cost_model=self.cost_model,
-            seed=tenant.tenant_id,
+        return build_tenant_allocator(
+            tenant, reservation, self.space, self.cost_model
         )
 
     def _admit(self, tenant: Tenant) -> Optional[AdmissionDecision]:
@@ -384,6 +400,10 @@ class CloudProvider:
         accounts: Dict[int, TenantAccount] = {}
         rejected = 0
         utilization_sum = 0.0
+        # The controller maintains its admitted total at decision time;
+        # snapshotting it here turns "admitted during this run" into a
+        # subtraction instead of a per-run re-scan of every decision.
+        admitted_before = self.admission.admitted_count
 
         for interval in range(intervals):
             # Departures first, then arrivals.
@@ -435,13 +455,7 @@ class CloudProvider:
         total_intervals = max(intervals, 1)
         return ProviderReport(
             intervals=intervals,
-            admitted=len(self.admission.decisions)
-            - rejected
-            - sum(
-                1
-                for d in self.admission.decisions
-                if d.reason == "already admitted"
-            ),
+            admitted=self.admission.admitted_count - admitted_before,
             rejected=rejected,
             accounts=accounts,
             mean_utilization=utilization_sum / total_intervals,

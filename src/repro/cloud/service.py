@@ -1,0 +1,841 @@
+"""The event-driven always-on provider service.
+
+The dense provider loop (:mod:`repro.cloud.provider`) advances *every*
+resident tenant through *every* control interval — O(tenants ×
+intervals) even when most tenants are idle between bursts or their
+controllers converged long ago.  At the ROADMAP's cloud scale (10k
+tenants, 100k-interval horizons, heavy churn) almost all of that work
+is literally nothing happening.
+
+This module rebuilds the loop as a discrete-event service behind the
+usual FAST/scalar-twin discipline:
+
+* **one min-heap of events.**  ``(interval, kind, tenant_id)`` entries
+  — departures before arrivals before controller steps within an
+  interval, ascending tenant id within a kind — reproduce exactly the
+  order the dense reference loop visits tenants in, so both engines
+  mutate the shared fabric identically.
+* **controller updates only when there is work.**  A tenant's
+  Kalman/Q-learning step runs only at intervals where its open-loop
+  traffic (:mod:`repro.cloud.traffic`) queued work; between bursts the
+  tenant is *parked* (its tiles released back to the fabric) and the
+  engine jumps the clock over the gap.
+* **convergence hibernation.**  A tenant whose schedule has been
+  byte-identical for ``converged_after`` consecutive steps stops
+  consulting its allocator (and drawing measurement noise) and replays
+  the converged schedule until the phase changes or a ``reprobe_every``
+  countdown fires — the same deterministic rule in both engines.
+* **idle stretches skipped exactly.**  All per-interval accounting the
+  dense loop accumulates (tenant-intervals, occupied tile-intervals)
+  is kept in integers, so multiplying over a skipped stretch equals
+  per-interval accumulation bit for bit; per-tenant noise streams are
+  keyed by tenant id, so skipping one tenant never perturbs another.
+
+The dense twin lives on as :meth:`ServiceEngine._run_dense_reference`
+(scalar mode); fixed-seed reports are bit-identical in both modes.
+
+Two operational features make week-long simulated horizons practical:
+a bounded ring / JSONL streaming metrics sink (:class:`MetricsSink`)
+replaces end-of-run-only reporting, and schema-versioned,
+content-checksummed checkpoints (:meth:`ServiceEngine.checkpoint` /
+:meth:`ServiceEngine.restore`) snapshot fabric + residents + RNG +
+heaps so a horizon can resume across runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import heapq
+import json
+import os
+import pickle
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import perf
+from repro.arch.cost import CostModel, DEFAULT_COST_MODEL
+from repro.arch.fabric import Allocation, Fabric, FabricError
+from repro.arch.vcore import ConfigurationSpace, VCoreConfig, DEFAULT_CONFIG_SPACE
+from repro.cloud.admission import AdmissionController
+from repro.cloud.provider import build_tenant_allocator
+from repro.cloud.traffic import TenantTraffic, TrafficScenario
+from repro.experiments.harness import Allocator, _PhaseWalker
+from repro.runtime.cash import LegObservation, QoSMeasurement
+from repro.runtime.optimizer import ConfigPoint, Schedule, ScheduleEntry
+from repro.sim.optables import operating_point_table
+from repro.sim.perfmodel import PerformanceModel, DEFAULT_PERF_MODEL
+from repro.workloads.phase import Phase
+
+# Event kinds, ordered so a heap pop sequence within one interval
+# matches the dense loop: departures, then arrivals, then steps.
+_EVENT_DEPART = 0
+_EVENT_ARRIVE = 1
+_EVENT_STEP = 2
+
+CHECKPOINT_SCHEMA = 1
+"""Bump when the pickled engine state changes shape."""
+
+_CHECKPOINT_MAGIC = b"CASHSVC1"
+_DIGEST_BYTES = 32  # sha256
+
+
+class CheckpointError(RuntimeError):
+    """A service checkpoint could not be validated or restored."""
+
+
+@dataclass
+class ServiceAccount:
+    """Per-tenant billing and QoS bookkeeping (integer-first).
+
+    Unlike the dense loop's ``TenantAccount`` (which appends every
+    interval's footprint to a list), footprint area is accumulated as
+    an integer tile total so a million-interval tenant costs O(1)
+    memory and stretch accounting stays exact.
+    """
+
+    tenant_id: int
+    active_intervals: int = 0
+    violations: int = 0
+    dollars_time: float = 0.0  # Σ mean $/hr over active intervals
+    waiting_intervals: int = 0
+    footprint_tiles: int = 0  # Σ peak-footprint tiles over active intervals
+
+    @property
+    def violation_percent(self) -> float:
+        if self.active_intervals <= 0:
+            return 0.0
+        return 100.0 * self.violations / self.active_intervals
+
+    @property
+    def mean_cost_rate(self) -> float:
+        if self.active_intervals <= 0:
+            return 0.0
+        return self.dollars_time / self.active_intervals
+
+    @property
+    def mean_footprint_tiles(self) -> float:
+        if self.active_intervals <= 0:
+            return 0.0
+        return self.footprint_tiles / self.active_intervals
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Aggregate outcome of a service run (or a prefix of one)."""
+
+    intervals: int
+    admitted: int
+    rejected: int
+    accounts: Dict[int, ServiceAccount]
+    tenant_intervals: int
+    """Σ over simulated intervals of the resident-tenant count — the
+    work the dense loop would have iterated, and the throughput unit
+    (tenant-intervals/second) the benchmarks report."""
+    active_steps: int
+    """Controller steps actually executed (tenant active)."""
+    decide_steps: int
+    """Steps that consulted the allocator (not hibernation replays)."""
+    utilization_tile_intervals: int
+    fabric_tiles: int
+    defragmentations: int
+
+    @property
+    def mean_utilization(self) -> float:
+        denom = self.fabric_tiles * self.intervals
+        if denom <= 0:
+            return 0.0
+        return self.utilization_tile_intervals / denom
+
+    @property
+    def revenue_rate(self) -> float:
+        """Mean $/hour billed across the run (the provider's income)."""
+        if self.intervals <= 0:
+            return 0.0
+        total = 0.0
+        for tenant_id in sorted(self.accounts):
+            total += self.accounts[tenant_id].dollars_time
+        return total / self.intervals
+
+    @property
+    def mean_violation_percent(self) -> float:
+        percents = [
+            self.accounts[tenant_id].violation_percent
+            for tenant_id in sorted(self.accounts)
+            if self.accounts[tenant_id].active_intervals > 0
+        ]
+        if not percents:
+            return 0.0
+        return sum(percents) / len(percents)
+
+
+@dataclass(eq=False)
+class MetricsSink:
+    """Streaming metric export: a bounded in-memory ring, plus JSONL.
+
+    The engine emits one record per *eventful* interval (and one per
+    skipped stretch in event mode), so observability never requires
+    holding a full run's history: the ring keeps the trailing window
+    and the optional JSONL file streams everything.
+    """
+
+    capacity: int = 4096
+    jsonl_path: Optional[str] = None
+    records: Deque[Dict[str, object]] = field(init=False)
+    emitted: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        self.records = deque(maxlen=self.capacity)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+        self.emitted += 1
+        if self.jsonl_path is not None:
+            with open(self.jsonl_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+@dataclass
+class _ServiceResident:
+    """A tenant currently admitted to the service."""
+
+    traffic: TenantTraffic
+    allocator: Allocator
+    walker: _PhaseWalker
+    account: ServiceAccount
+    rng: random.Random
+    """The tenant's private measurement-noise stream.  Keyed by tenant
+    id (not shared fleet-wide like the dense loop's provider RNG) so
+    skipping other tenants' idle intervals cannot shift this one's
+    draws — the property the whole event engine rests on."""
+    measurement: Optional[QoSMeasurement] = None
+    last_schedule: Optional[Schedule] = None
+    stable_steps: int = 0
+    hibernating: bool = False
+    hibernation_phase: Optional[str] = None
+    probe_countdown: int = 0
+    parked_allocation: Optional[Allocation] = None
+    """The exact region released at the last park, kept so the next
+    burst can re-seat on the same tiles in O(region) instead of paying
+    the fabric's seed search again."""
+
+
+def _noise_stream(seed: int, tenant_id: int) -> random.Random:
+    """Per-tenant noise RNG, independent of the traffic streams."""
+    return random.Random(
+        (seed * 2_654_435_761 + 97_531 * (tenant_id + 1) + 0xC0FFEE) & (2**63 - 1)
+    )
+
+
+class ServiceEngine:
+    """Runs a traffic scenario's tenants against one shared fabric.
+
+    Under :data:`repro.perf.FAST` the engine is event-driven; with fast
+    paths disabled it runs the dense scalar reference loop.  A single
+    engine instance sticks with whichever mode its first ``run`` used
+    (mixing them mid-horizon would be meaningless); fresh engines built
+    from the same scenario produce bit-identical reports in either
+    mode.
+    """
+
+    def __init__(
+        self,
+        scenario: TrafficScenario,
+        fabric: Optional[Fabric] = None,
+        model: PerformanceModel = DEFAULT_PERF_MODEL,
+        space: ConfigurationSpace = DEFAULT_CONFIG_SPACE,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        interval_cycles: float = 2.5e5,
+        noise_std_frac: float = 0.02,
+        violation_margin: float = 0.03,
+        overcommit: float = 1.0,
+        noise_seed: Optional[int] = None,
+        converged_after: int = 12,
+        reprobe_every: int = 48,
+        metrics: Optional[MetricsSink] = None,
+    ) -> None:
+        if converged_after < 0:
+            raise ValueError(
+                f"converged_after must be non-negative, got {converged_after}"
+            )
+        if reprobe_every <= 0:
+            raise ValueError(
+                f"reprobe_every must be positive, got {reprobe_every}"
+            )
+        self.scenario = scenario
+        self.fabric = fabric if fabric is not None else Fabric(width=24, height=24)
+        self.model = model
+        self.space = space
+        self.cost_model = cost_model
+        self.interval_cycles = interval_cycles
+        self.noise_std_frac = noise_std_frac
+        self.violation_margin = violation_margin
+        self.converged_after = converged_after
+        self.reprobe_every = reprobe_every
+        self.metrics = metrics
+        self.noise_seed = (
+            scenario.spec.seed if noise_seed is None else noise_seed
+        )
+        self.admission = AdmissionController(
+            self.fabric, model, space, overcommit=overcommit
+        )
+        self.defragmentations = 0
+        self._residents: Dict[int, _ServiceResident] = {}
+        self._shrink_streaks: Dict[int, int] = {}
+        self._settled: Dict[int, ServiceAccount] = {}
+        self._admitted = 0
+        self._rejected = 0
+        self._cursor = 0  # next interval to simulate
+        self._mode: Optional[str] = None
+        self._tenant_intervals = 0
+        self._util_tile_intervals = 0
+        self._active_steps = 0
+        self._decide_steps = 0
+        self._open_violations = 0  # reset at every interval close
+        self._open_dollars = 0.0
+        # Arrival stream, ascending (arrival_interval, tenant_id).  The
+        # dense twin drains it through a cursor; the event twin seeds
+        # its heap from the un-drained suffix on first use.
+        self._arrivals: List[TenantTraffic] = sorted(
+            scenario.tenants,
+            key=lambda t: (t.tenant.arrival_interval, t.tenant.tenant_id),
+        )
+        self._arrival_cursor = 0
+        self._traffic_by_id: Dict[int, TenantTraffic] = {
+            t.tenant.tenant_id: t for t in scenario.tenants
+        }
+        self._heap: List[Tuple[int, int, int]] = []
+        self._heap_primed = False
+
+    # ------------------------------------------------------------------
+    # admission / settlement
+    # ------------------------------------------------------------------
+    def _admit(self, traffic: TenantTraffic) -> bool:
+        tenant = traffic.tenant
+        decision = self.admission.request(tenant)
+        if not decision.admitted or decision.reservation is None:
+            self._rejected += 1
+            return False
+        self._admitted += 1
+        if perf.FAST:
+            # Prefetch the tenant's phase tables at admission (same
+            # discipline as the dense provider): warm, value-keyed
+            # surfaces change when tables are built, never what they
+            # contain.
+            for phase in tenant.app.phases:
+                operating_point_table(
+                    phase, self.model, self.space, self.cost_model
+                )
+        self._residents[tenant.tenant_id] = _ServiceResident(
+            traffic=traffic,
+            allocator=build_tenant_allocator(
+                tenant, decision.reservation, self.space, self.cost_model
+            ),
+            walker=_PhaseWalker(tenant.app),
+            account=ServiceAccount(tenant_id=tenant.tenant_id),
+            rng=_noise_stream(self.noise_seed, tenant.tenant_id),
+        )
+        return True
+
+    def _settle(self, tenant_id: int) -> None:
+        resident = self._residents.pop(tenant_id)
+        self._settled[tenant_id] = resident.account
+        self.admission.release(tenant_id)
+        if self.fabric.has_allocation(tenant_id):
+            self.fabric.release(tenant_id)
+        self._shrink_streaks.pop(tenant_id, None)
+
+    # ------------------------------------------------------------------
+    # per-step machinery (shared verbatim by both engine modes)
+    # ------------------------------------------------------------------
+    def _true_points(self, phase: Phase) -> Sequence[ConfigPoint]:
+        if perf.FAST:
+            return operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            )
+        return [
+            ConfigPoint(
+                config=config,
+                speedup=self.model.ipc(phase, config),
+                cost_rate=config.cost_rate(self.cost_model),
+            )
+            for config in self.space
+        ]
+
+    def _ipc_of(self, phase: Phase, config: VCoreConfig) -> float:
+        if perf.FAST:
+            ipc = operating_point_table(
+                phase, self.model, self.space, self.cost_model
+            ).get_ipc(config)
+            if ipc is not None:
+                return ipc
+        return self.model.ipc(phase, config)
+
+    def _noisy(self, resident: _ServiceResident, value: float) -> float:
+        if self.noise_std_frac <= 0.0:
+            return value
+        return max(
+            value * (1.0 + resident.rng.gauss(0.0, self.noise_std_frac)), 0.0
+        )
+
+    def _peak_footprint(self, schedule: Schedule) -> Optional[VCoreConfig]:
+        configs = schedule.configs()
+        if not configs:
+            return None
+        return max(configs, key=lambda c: c.tiles)
+
+    def _place(self, tenant_id: int, config: VCoreConfig) -> bool:
+        """Placement with hysteresis — the dense provider's rules."""
+        current = self.fabric.allocation_for(tenant_id)
+        if current is not None:
+            held = current.config
+            hosts = (
+                held.slices >= config.slices and held.l2_banks >= config.l2_banks
+            )
+            if hosts:
+                shrink_streak = self._shrink_streaks.get(tenant_id, 0)
+                if config.tiles < 0.5 * held.tiles:
+                    shrink_streak += 1
+                else:
+                    shrink_streak = 0
+                self._shrink_streaks[tenant_id] = shrink_streak
+                if shrink_streak < 8:
+                    return True
+                self._shrink_streaks[tenant_id] = 0
+        target = config
+        if current is not None and not (
+            current.config.slices >= config.slices
+            and current.config.l2_banks >= config.l2_banks
+        ):
+            target = VCoreConfig(
+                slices=max(current.config.slices, config.slices),
+                l2_kb=max(current.config.l2_kb, config.l2_kb),
+            )
+        try:
+            if current is None:
+                self.fabric.allocate(tenant_id, target)
+            else:
+                self.fabric.reallocate(tenant_id, target)
+            return True
+        except FabricError:
+            self.defragmentations += 1
+            try:
+                self.fabric.defragment()
+                if self.fabric.has_allocation(tenant_id):
+                    self.fabric.reallocate(tenant_id, target)
+                else:
+                    self.fabric.allocate(tenant_id, target)
+                return True
+            except FabricError:
+                held_now = self.fabric.allocation_for(tenant_id)
+                return held_now is not None and (
+                    held_now.config.slices >= config.slices
+                    and held_now.config.l2_banks >= config.l2_banks
+                )
+
+    def _decide(
+        self, resident: _ServiceResident, phase: Phase
+    ) -> Tuple[Schedule, bool]:
+        """The step's schedule, and whether it was a hibernation replay.
+
+        Hibernation is purely deterministic: a schedule repeated for
+        ``converged_after`` consecutive steps is replayed — skipping
+        the allocator *and* the measurement-noise draws — until the
+        phase changes or the reprobe countdown expires.  Both engine
+        modes run this exact code, so they replay the exact same steps.
+        """
+        if resident.hibernating:
+            _, current = resident.walker.current_phase()
+            if current.name != resident.hibernation_phase:
+                resident.hibernating = False
+                resident.stable_steps = 0
+            elif resident.probe_countdown <= 0:
+                resident.hibernating = False
+                resident.stable_steps = 0
+            else:
+                resident.probe_countdown -= 1
+                assert resident.last_schedule is not None
+                return resident.last_schedule, True
+        self._decide_steps += 1
+        points = self._true_points(phase)
+        schedule = resident.allocator.decide(resident.measurement, points)
+        if resident.last_schedule is not None and schedule == resident.last_schedule:
+            resident.stable_steps += 1
+        else:
+            resident.stable_steps = 0
+        resident.last_schedule = schedule
+        if 0 < self.converged_after <= resident.stable_steps:
+            resident.hibernating = True
+            resident.hibernation_phase = phase.name
+            resident.probe_countdown = self.reprobe_every
+        return schedule, False
+
+    def _step_tenant(self, resident: _ServiceResident, interval: int) -> None:
+        """One control interval for one active tenant.
+
+        A transliteration of the dense provider's
+        ``_run_tenant_interval`` with three deltas: noise comes from
+        the tenant's own stream, hibernation replays skip the allocator
+        and the noise draws symmetrically, and the tenant is parked
+        (tiles released) when its burst ends.
+        """
+        self._active_steps += 1
+        tenant = resident.traffic.tenant
+        account = resident.account
+        _, phase = resident.walker.current_phase()
+        schedule, replayed = self._decide(resident, phase)
+        self._unpark(resident)
+
+        footprint = self._peak_footprint(schedule)
+        placed = footprint is None or self._place(tenant.tenant_id, footprint)
+        if not placed:
+            existing = self.fabric.allocation_for(tenant.tenant_id)
+            if existing is None:
+                account.waiting_intervals += 1
+                account.active_intervals += 1
+                account.violations += 1
+                self._open_violations += 1
+                if not replayed:
+                    resident.measurement = QoSMeasurement(
+                        overall_qos=0.0, legs=(), signature=()
+                    )
+                self._park_if_idle(resident, interval)
+                return
+            account.waiting_intervals += 1
+            held = ConfigPoint(
+                config=existing.config,
+                speedup=0.0,
+                cost_rate=existing.config.cost_rate(self.cost_model),
+            )
+            schedule = Schedule(entries=(ScheduleEntry(held, 1.0),))
+            footprint = existing.config
+
+        total_instructions = 0.0
+        elapsed = 0.0
+        dollars_time = 0.0  # Σ rate × cycles
+        legs: List[LegObservation] = []
+        crossed = False
+        for entry in schedule.entries:
+            if crossed or entry.fraction <= 0:
+                continue
+            leg_cycles = entry.fraction * self.interval_cycles
+            if entry.point.is_idle:
+                elapsed += leg_cycles
+                if not replayed:
+                    legs.append(LegObservation(None, entry.fraction, 0.0))
+                continue
+            config = entry.point.config
+            executed, used, crossed = resident.walker.run_cycles(
+                leg_cycles,
+                lambda p, config=config: self._ipc_of(p, config),
+                stop_at_boundary=True,
+            )
+            total_instructions += executed
+            elapsed += used
+            dollars_time += config.cost_rate(self.cost_model) * used
+            if not replayed:
+                leg_qos = executed / used if used > 0 else 0.0
+                legs.append(
+                    LegObservation(
+                        config, entry.fraction, self._noisy(resident, leg_qos)
+                    )
+                )
+        elapsed = max(elapsed, 1.0)
+        dollars = dollars_time / elapsed  # mean $/hr over the interval
+        true_qos = total_instructions / elapsed
+        if not replayed:
+            signature = (
+                self._noisy(resident, phase.mem_refs_per_inst),
+                self._noisy(resident, phase.l1_miss_rate),
+                self._noisy(resident, phase.mispredict_rate),
+            )
+            resident.measurement = QoSMeasurement(
+                overall_qos=self._noisy(resident, true_qos),
+                legs=tuple(legs),
+                signature=signature,
+            )
+        account.active_intervals += 1
+        account.dollars_time += dollars
+        self._open_dollars += dollars
+        if footprint is not None:
+            account.footprint_tiles += footprint.tiles
+        if true_qos < tenant.qos_goal * (1.0 - self.violation_margin):
+            account.violations += 1
+            self._open_violations += 1
+        self._park_if_idle(resident, interval)
+
+    def _park_if_idle(self, resident: _ServiceResident, interval: int) -> None:
+        """Release the tenant's tiles when its burst just ended.
+
+        No work queued for the next interval means the spatial
+        allocation would sit occupied doing nothing; parking returns it
+        to the fabric so other tenants (and the utilization metric) see
+        the slack.  The reservation stays — admission is a contract.
+        """
+        tenant_id = resident.traffic.tenant.tenant_id
+        if resident.traffic.next_active(interval + 1) == interval + 1:
+            return  # burst continues
+        current = self.fabric.allocation_for(tenant_id)
+        if current is not None:
+            resident.parked_allocation = current
+            self.fabric.release(tenant_id)
+        self._shrink_streaks.pop(tenant_id, None)
+
+    def _unpark(self, resident: _ServiceResident) -> None:
+        """Re-seat a parked tenant on its old tiles when they are free.
+
+        Falls through silently when the region was taken (or the
+        tenant holds an allocation already): the regular placement path
+        then runs the full seed search.  Both engine modes execute this
+        identically, so placement stays bit-identical.
+        """
+        parked = resident.parked_allocation
+        if parked is None:
+            return
+        resident.parked_allocation = None
+        if self.fabric.has_allocation(parked.vcore_id):
+            return
+        self.fabric.try_allocate_exact(parked)
+
+    # ------------------------------------------------------------------
+    # interval accounting (integer, stretch-exact)
+    # ------------------------------------------------------------------
+    def _close_interval(self, interval: int, steps: int) -> None:
+        residents = len(self._residents)
+        self._tenant_intervals += residents
+        occupied = self.fabric.occupied_tiles()
+        self._util_tile_intervals += occupied
+        if self.metrics is not None:
+            self.metrics.emit(
+                {
+                    "kind": "interval",
+                    "interval": interval,
+                    "residents": residents,
+                    "steps": steps,
+                    "occupied": occupied,
+                    "violations": self._open_violations,
+                    "revenue": self._open_dollars,
+                }
+            )
+        self._open_violations = 0
+        self._open_dollars = 0.0
+
+    def _account_stretch(self, start: int, end: int) -> None:
+        """Account ``[start, end)`` — a span with no events — exactly."""
+        if end <= start:
+            return
+        span = end - start
+        residents = len(self._residents)
+        occupied = self.fabric.occupied_tiles()
+        self._tenant_intervals += residents * span
+        self._util_tile_intervals += occupied * span
+        if self.metrics is not None:
+            self.metrics.emit(
+                {
+                    "kind": "stretch",
+                    "start": start,
+                    "end": end,
+                    "residents": residents,
+                    "occupied": occupied,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # the two engine modes
+    # ------------------------------------------------------------------
+    def _prime_heap(self) -> None:
+        if self._heap_primed:
+            return
+        for traffic in self._arrivals[self._arrival_cursor :]:
+            self._heap.append(
+                (
+                    traffic.tenant.arrival_interval,
+                    _EVENT_ARRIVE,
+                    traffic.tenant.tenant_id,
+                )
+            )
+        self._arrival_cursor = len(self._arrivals)
+        heapq.heapify(self._heap)
+        self._heap_primed = True
+
+    def _run_event_driven(self, until: int) -> None:
+        self._prime_heap()
+        heap = self._heap
+        cursor = self._cursor
+        while cursor < until:
+            if not heap or heap[0][0] >= until:
+                self._account_stretch(cursor, until)
+                return
+            interval = heap[0][0]
+            if interval > cursor:
+                self._account_stretch(cursor, interval)
+                cursor = interval
+            steps = 0
+            while heap and heap[0][0] == interval:
+                _, kind, tenant_id = heapq.heappop(heap)
+                if kind == _EVENT_DEPART:
+                    if tenant_id in self._residents:
+                        self._settle(tenant_id)
+                elif kind == _EVENT_ARRIVE:
+                    traffic = self._traffic_by_id[tenant_id]
+                    if self._admit(traffic):
+                        departure = traffic.tenant.departure_interval
+                        if departure is not None:
+                            heapq.heappush(
+                                heap, (departure, _EVENT_DEPART, tenant_id)
+                            )
+                        wake = traffic.next_active(interval)
+                        if wake is not None:
+                            heapq.heappush(
+                                heap, (wake, _EVENT_STEP, tenant_id)
+                            )
+                else:  # _EVENT_STEP
+                    resident = self._residents.get(tenant_id)
+                    if resident is None:
+                        continue  # departed this very interval
+                    self._step_tenant(resident, interval)
+                    steps += 1
+                    wake = resident.traffic.next_active(interval + 1)
+                    if wake is not None:
+                        heapq.heappush(heap, (wake, _EVENT_STEP, tenant_id))
+            self._close_interval(interval, steps)
+            cursor = interval + 1
+
+    def _run_dense_reference(self, until: int) -> None:
+        """The scalar twin: visit every interval, scan every tenant."""
+        for interval in range(self._cursor, until):
+            # Departures first (ascending tenant id) ...
+            for tenant_id in sorted(self._residents):
+                resident = self._residents[tenant_id]
+                departure = resident.traffic.tenant.departure_interval
+                if departure is not None and interval >= departure:
+                    self._settle(tenant_id)
+            # ... then arrivals (the stream ascends by interval and id) ...
+            while self._arrival_cursor < len(self._arrivals):
+                traffic = self._arrivals[self._arrival_cursor]
+                if traffic.tenant.arrival_interval > interval:
+                    break
+                self._arrival_cursor += 1
+                self._admit(traffic)
+            # ... then a controller step for every tenant with work.
+            steps = 0
+            for tenant_id in sorted(self._residents):
+                resident = self._residents[tenant_id]
+                if resident.traffic.is_active(interval):
+                    self._step_tenant(resident, interval)
+                    steps += 1
+            self._close_interval(interval, steps)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> ServiceReport:
+        """Advance the service to ``until`` (default: the full horizon).
+
+        Resumable: successive calls continue where the previous one
+        stopped, and a restored checkpoint continues identically to an
+        engine that never paused.
+        """
+        horizon = self.scenario.spec.horizon
+        target = horizon if until is None else until
+        if target > horizon:
+            raise ValueError(
+                f"until={target} exceeds the scenario horizon {horizon}"
+            )
+        if target < self._cursor:
+            raise ValueError(
+                f"cannot run backwards: at interval {self._cursor}, "
+                f"asked for {target}"
+            )
+        mode = "event" if perf.FAST else "dense"
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise RuntimeError(
+                f"engine already ran in {self._mode} mode; "
+                f"cannot continue in {mode} mode"
+            )
+        if perf.FAST:
+            self._run_event_driven(target)
+        else:
+            self._run_dense_reference(target)
+        self._cursor = target
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        """A snapshot report of everything simulated so far."""
+        accounts: Dict[int, ServiceAccount] = {}
+        settled_ids = sorted(self._settled)
+        for tenant_id in settled_ids:
+            accounts[tenant_id] = copy.copy(self._settled[tenant_id])
+        resident_ids = sorted(self._residents)
+        for tenant_id in resident_ids:
+            accounts[tenant_id] = copy.copy(self._residents[tenant_id].account)
+        return ServiceReport(
+            intervals=self._cursor,
+            admitted=self._admitted,
+            rejected=self._rejected,
+            accounts=accounts,
+            tenant_intervals=self._tenant_intervals,
+            active_steps=self._active_steps,
+            decide_steps=self._decide_steps,
+            utilization_tile_intervals=self._util_tile_intervals,
+            fabric_tiles=len(self.fabric.tiles),
+            defragmentations=self.defragmentations,
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize the whole service: fabric, residents, RNG, heaps.
+
+        Layout: 8-byte magic, 32-byte sha256 of the payload, pickled
+        ``{"schema": CHECKPOINT_SCHEMA, "engine": self}``.  The digest
+        catches torn or corrupted snapshots before unpickling.
+        """
+        payload = pickle.dumps(
+            {"schema": CHECKPOINT_SCHEMA, "engine": self},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return _CHECKPOINT_MAGIC + hashlib.sha256(payload).digest() + payload
+
+    @classmethod
+    def restore(cls, data: bytes) -> "ServiceEngine":
+        if data[: len(_CHECKPOINT_MAGIC)] != _CHECKPOINT_MAGIC:
+            raise CheckpointError("not a service checkpoint (bad magic)")
+        body = data[len(_CHECKPOINT_MAGIC) :]
+        digest, payload = body[:_DIGEST_BYTES], body[_DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CheckpointError("checksum mismatch: checkpoint corrupted")
+        state = pickle.loads(payload)
+        schema = state.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(engine speaks {CHECKPOINT_SCHEMA})"
+            )
+        engine = state.get("engine")
+        if not isinstance(engine, cls):
+            raise CheckpointError(
+                f"checkpoint payload is {type(engine).__name__}, "
+                "not a ServiceEngine"
+            )
+        return engine
+
+    def save_checkpoint(self, path: Union[str, Path]) -> Path:
+        """Atomically write :meth:`checkpoint` to ``path``."""
+        target = Path(path)
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_bytes(self.checkpoint())
+        os.replace(scratch, target)
+        return target
+
+    @classmethod
+    def load_checkpoint(cls, path: Union[str, Path]) -> "ServiceEngine":
+        return cls.restore(Path(path).read_bytes())

@@ -95,6 +95,36 @@ def provider_table(reports: Mapping[tuple, object]) -> str:
     return "\n".join(lines)
 
 
+def service_table(reports: Mapping[tuple, object]) -> str:
+    """Render the always-on service grid: one row per churn cell.
+
+    ``reports`` maps ``(tenants, seed)`` to a
+    :class:`~repro.cloud.service.ServiceReport` (the shape
+    :func:`~repro.experiments.scenarios.service_grid` returns).
+    ``t-ivals`` is tenant-intervals — the dense-equivalent work the
+    event engine covered — and ``steps``/``decides`` show how much of
+    it needed a controller step, and of those how many consulted the
+    allocator (the rest were convergence-hibernation replays).
+    """
+    header = (
+        f"{'tenants':>8}{'seed':>6}{'admit':>7}{'reject':>8}"
+        f"{'t-ivals':>10}{'steps':>9}{'decides':>9}"
+        f"{'util %':>8}{'$/hr':>10}{'viol %':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for (tenants, seed), report in reports.items():
+        lines.append(
+            f"{tenants:>8}{seed:>6}"
+            f"{report.admitted:>7}{report.rejected:>8}"
+            f"{report.tenant_intervals:>10}"
+            f"{report.active_steps:>9}{report.decide_steps:>9}"
+            f"{report.mean_utilization * 100:>8.1f}"
+            f"{report.revenue_rate:>10.4f}"
+            f"{report.mean_violation_percent:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
 def tier_table(results: Mapping[tuple, object]) -> str:
     """Render the tier-agreement sweep: one row per (phase, config).
 

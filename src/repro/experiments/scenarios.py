@@ -594,6 +594,110 @@ def multitenant_grid(
     return reports, timing
 
 
+def run_service_cell(spec):
+    """Run one event-driven service cell from its frozen spec.
+
+    A cell is a pure function of the spec (traffic and noise streams
+    are seed-derived), so sharded grids reproduce serial ones exactly
+    and FAST on/off selects the event-heap engine vs its dense scalar
+    twin without changing the report.
+    """
+    from repro.arch.fabric import Fabric
+    from repro.cloud.service import ServiceEngine
+    from repro.cloud.traffic import generate_traffic
+
+    scenario = generate_traffic(spec.traffic)
+    engine = ServiceEngine(
+        scenario,
+        fabric=Fabric(width=spec.fabric_width, height=spec.fabric_height),
+        overcommit=spec.overcommit,
+        converged_after=spec.converged_after,
+        reprobe_every=spec.reprobe_every,
+    )
+    return engine.run()
+
+
+def service_grid(
+    tenant_counts: Sequence[int] = (256, 1024),
+    horizon: int = 2000,
+    seeds: Sequence[int] = (0,),
+    overcommit: float = 2.0,
+    fabric_width: int = 24,
+    fabric_height: int = 24,
+    activity: float = 0.15,
+    jobs: Optional[int] = 1,
+):
+    """The always-on service grid: (tenant count × seed) churn cells.
+
+    Returns ``(reports, timing)`` where ``reports`` maps
+    ``(tenants, seed)`` to its
+    :class:`~repro.cloud.service.ServiceReport` and ``timing`` is a
+    JSON-ready record for ``BENCH_CLOUD.json`` — its headline rate is
+    **tenant-intervals/second**, the dense-equivalent work the event
+    engine retires per wall-clock second.
+    """
+    import time
+
+    from repro.cloud.traffic import TrafficSpec
+    from repro.experiments.stats import (
+        ServiceCellSpec,
+        default_jobs,
+        run_cells,
+    )
+
+    if jobs is None:
+        jobs = default_jobs()
+    specs = [
+        ServiceCellSpec(
+            traffic=TrafficSpec(
+                tenants=tenants,
+                horizon=horizon,
+                seed=seed,
+                activity=activity,
+                lifetime_min=max(horizon / 16.0, 1.0),
+                diurnal_period=max(horizon // 2, 1),
+                diurnal_amplitude=0.5,
+                flash_crowds=2,
+                flash_duration=max(horizon // 50, 1),
+                flash_boost=4.0,
+            ),
+            overcommit=overcommit,
+            fabric_width=fabric_width,
+            fabric_height=fabric_height,
+        )
+        for tenants in tenant_counts
+        for seed in seeds
+    ]
+    start = time.perf_counter()
+    results = run_cells(specs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    reports = {}
+    cursor = iter(results)
+    for tenants in tenant_counts:
+        for seed in seeds:
+            reports[(tenants, seed)] = next(cursor)
+    tenant_intervals = sum(report.tenant_intervals for report in results)
+    active_steps = sum(report.active_steps for report in results)
+    timing = {
+        "cells": len(specs),
+        "tenant_counts": list(tenant_counts),
+        "horizon": horizon,
+        "fabric": f"{fabric_width}x{fabric_height}",
+        "jobs": jobs,
+        "wall_seconds": round(elapsed, 4),
+        "tenant_intervals": tenant_intervals,
+        "active_steps": active_steps,
+        "tenant_intervals_per_second": (
+            round(tenant_intervals / elapsed, 2) if elapsed else None
+        ),
+        "seeds": list(seeds),
+    }
+    from repro.sim.optables import optable_cache_stats
+
+    timing["optable_store"] = optable_cache_stats()
+    return reports, timing
+
+
 TIER_APPS: Tuple[str, ...] = ("x264", "apache", "mcf")
 """Applications covered by the default tier-agreement sweep: the three
 workloads the paper leans on for its mechanism studies (the x264 phase

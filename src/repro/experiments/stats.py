@@ -47,10 +47,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro import cacheconf, perf
 from repro.analysis import sanitize
 from repro.arch.vcore import VCoreConfig
+from repro.cloud.traffic import TrafficSpec
 from repro.experiments.harness import RunResult
 from repro.experiments.scenarios import (
     run_app_with_allocator,
     run_provider_mix,
+    run_service_cell,
     run_tier_batch,
     run_tier_cell,
     warm_app_surfaces,
@@ -198,8 +200,31 @@ class TierBatchSpec:
     cells: Tuple[TierCellSpec, ...]
 
 
+@dataclass(frozen=True)
+class ServiceCellSpec:
+    """One event-driven service run of a sweep grid.
+
+    Wraps a frozen :class:`~repro.cloud.traffic.TrafficSpec` (the
+    open-loop demand) plus the provider-side knobs.  Fully value-typed
+    like the other specs: it pickles into worker processes, and the
+    traffic seed makes sharded grids bit-identical to serial ones.
+    """
+
+    traffic: TrafficSpec
+    overcommit: float = 1.0
+    fabric_width: int = 24
+    fabric_height: int = 24
+    converged_after: int = 12
+    reprobe_every: int = 48
+
+
 AnyCellSpec = Union[
-    CellSpec, ProviderCellSpec, TierCellSpec, TierBatchSpec, WarmCellSpec
+    CellSpec,
+    ProviderCellSpec,
+    ServiceCellSpec,
+    TierCellSpec,
+    TierBatchSpec,
+    WarmCellSpec,
 ]
 
 
@@ -207,6 +232,8 @@ def run_cell(spec: AnyCellSpec):
     """Run one cell (module-level so process pools can pickle it)."""
     if isinstance(spec, TierBatchSpec):
         return tuple(run_tier_batch(spec.cells))
+    if isinstance(spec, ServiceCellSpec):
+        return run_service_cell(spec)
     if isinstance(spec, ProviderCellSpec):
         return run_provider_mix(
             spec.mix,

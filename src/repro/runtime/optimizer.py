@@ -330,6 +330,15 @@ class LearnedPoints:
         self._key_positions: Dict[Tuple[float, float], List[int]] = {}
         self._keys_sorted: List[Tuple[float, float]] = []
 
+    def __getstate__(self) -> Dict[str, object]:
+        # The envelope cache holds read-only ``MappingProxyType`` views,
+        # which cannot pickle (service checkpoints snapshot runtimes).
+        # It is a pure function of the point list, so dropping it only
+        # costs a rebuild on the next solve — same hull, bit for bit.
+        state = dict(self.__dict__)
+        state["_envelopes"] = {}
+        return state
+
     def _rebuild_all(self) -> None:
         learner = self._learner
         self._points = [

@@ -841,6 +841,17 @@ class TestRepoTipIsClean:
             "repro.sim.trace",
             "TraceGenerator.generate_arrays",
         ) in hot
+        assert ("repro.cloud.service", "ServiceEngine.run") in hot
+        assert (
+            "repro.cloud.service",
+            "ServiceEngine._run_event_driven",
+        ) in hot
+        assert ("repro.cloud.traffic", "generate_traffic") in hot
+        # The dense loop is the scalar twin: exempt by its name.
+        assert (
+            "repro.cloud.service",
+            "ServiceEngine._run_dense_reference",
+        ) not in hot
 
     def test_scalar_references_are_not_hot(self):
         contexts, errors = load_contexts(
@@ -927,6 +938,91 @@ class TestBatchTierEntrypoints:
                     def describe(self):
                         out = []
                         for name in self.names:
+                            out = out + [name]
+                        return out
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert findings == []
+
+
+class TestServiceEntrypoints:
+    """The service tier's roots: ``ServiceEngine.run`` and friends.
+
+    Trigger/no-trigger twins proving hotness flows from the event
+    engine's entrypoints into their callees, while the dense scalar
+    reference loop stays exempt.
+    """
+
+    def test_service_run_callee_regression_fires(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/cloud/service.py": """
+                class ServiceEngine:
+                    def run(self, until=None):
+                        return self._run_event_driven(until)
+
+                    def _run_event_driven(self, until):
+                        pending = list(self._heap)
+                        while pending:
+                            event = pending.pop(0)
+                        return event
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert rules_of(findings) == {"quadratic-listop"}
+        assert ".pop(0)" in findings[0].message
+
+    def test_dense_reference_twin_is_exempt(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/cloud/service.py": """
+                class ServiceEngine:
+                    def run(self, until=None):
+                        return self._run_dense_reference(until)
+
+                    def _run_dense_reference(self, until):
+                        pending = list(self._residents)
+                        while pending:
+                            resident = pending.pop(0)
+                        return resident
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert findings == []
+
+    def test_generate_traffic_callee_regression_fires(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/cloud/traffic.py": """
+                def generate_traffic(spec):
+                    return _bursts(spec)
+
+                def _bursts(spec):
+                    out = []
+                    for start in range(spec.horizon):
+                        out = out + [start]
+                    return out
+                """
+            },
+            rules=["quadratic-listop"],
+        )
+        assert rules_of(findings) == {"quadratic-listop"}
+
+    def test_cold_service_sibling_is_ignored(self, lint_program):
+        findings = lint_program(
+            {
+                "src/repro/cloud/service.py": """
+                class ServiceEngine:
+                    def run(self, until=None):
+                        return until
+
+                    def describe(self):
+                        out = []
+                        for name in self._names:
                             out = out + [name]
                         return out
                 """

@@ -85,3 +85,38 @@ class TestAdmission:
     def test_rejects_bad_overcommit(self):
         with pytest.raises(ValueError):
             AdmissionController(Fabric(), overcommit=0.5)
+
+    def test_incremental_counters_match_decision_scan(self):
+        """The O(1) admitted/reserved counters agree with full scans.
+
+        ``CloudProvider.run`` now reports admissions from the
+        controller's decision-time counter instead of re-scanning the
+        decision log; this pins the counter to the scan it replaced,
+        releases included.
+        """
+        controller = AdmissionController(
+            Fabric(width=10, height=10), overcommit=1.5
+        )
+        for tenant_id in range(48):
+            controller.request(make_tenant(tenant_id, "mcf"))
+            if tenant_id % 5 == 0:
+                controller.request(make_tenant(tenant_id))  # duplicate
+            if tenant_id % 7 == 3:
+                controller.release(tenant_id)
+
+        scanned_admits = sum(
+            1 for decision in controller.decisions if decision.admitted
+        )
+        scanned_duplicates = sum(
+            1
+            for decision in controller.decisions
+            if decision.reason == "already admitted"
+        )
+        assert controller.admitted_count == scanned_admits
+        assert controller.already_admitted_count == scanned_duplicates
+        assert controller.reserved(TileKind.SLICE) == controller._scan_reserved(
+            TileKind.SLICE
+        )
+        assert controller.reserved(
+            TileKind.L2_BANK
+        ) == controller._scan_reserved(TileKind.L2_BANK)

@@ -66,6 +66,18 @@ class TestProviderBasics:
         assert report.rejected >= 1
         assert report.admitted + report.rejected == 6
 
+    def test_admitted_matches_decision_log(self):
+        """The incremental admitted counter equals a decision-log scan."""
+        tenants = [make_tenant(i, "mcf") for i in range(8)]
+        provider = CloudProvider(fabric=Fabric(width=8, height=8))
+        report = provider.run(tenants, intervals=30)
+        scanned = sum(
+            1
+            for decision in provider.admission.decisions
+            if decision.admitted
+        )
+        assert report.admitted == scanned
+
     def test_rejects_bad_intervals(self):
         with pytest.raises(ValueError):
             CloudProvider().run([], intervals=0)
