@@ -30,6 +30,16 @@ against):
   loop-invariant recomputation, element-wise ndarray loops, and
   per-iteration allocation in nested loops; also the
   ``repro lint --hot-report`` cost ranking.
+* :mod:`repro.analysis.dataflow` — interprocedural value-flow rules on
+  the same call graph, via per-function parameter-read/return-
+  dependence summaries and a transitive-input fixpoint: cache keys
+  must cover everything the cached computation reads
+  (``cache-key-incomplete``), RNG streams must stay per-item and
+  per-twin (``rng-stream-shared``), seeds must derive from frozen spec
+  fields (``seed-derivation``), and serialized surfaces must not drift
+  from their pinned ``SCHEMA_FINGERPRINTS.json`` without a version
+  bump (``schema-drift``); also the ``repro lint --dataflow-report``
+  evidence tables.
 
 The framework lives in :mod:`repro.analysis.core`; the committed
 findings baseline that lets CI gate only *new* violations lives in
@@ -44,6 +54,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis import (
+    dataflow,
     determinism,
     effects,
     hotpath,
@@ -68,6 +79,7 @@ ALL_RULES: List[Rule] = [
     *units.RULES,
     *effects.RULES,
     *hotpath.RULES,
+    *dataflow.RULES,
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

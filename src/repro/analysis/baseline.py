@@ -27,17 +27,28 @@ BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
 
 
+def _canonical_path(path: str) -> str:
+    """POSIX-separated form of a finding path.
+
+    Fingerprints must be identical no matter which platform wrote the
+    baseline: a gate recorded on Windows (``src\\repro\\x.py``) has to
+    match the same finding scanned on POSIX, and vice versa.
+    """
+    return path.replace("\\", "/")
+
+
 def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
     """Stable fingerprint per finding (occurrence-indexed for duplicates)."""
     seen: Dict[Tuple[str, str, str], int] = {}
     result: List[Tuple[Finding, str]] = []
     for finding in findings:
-        key = (finding.path, finding.rule, finding.snippet)
+        path = _canonical_path(finding.path)
+        key = (path, finding.rule, finding.snippet)
         occurrence = seen.get(key, 0)
         seen[key] = occurrence + 1
         digest = hashlib.sha256(
             "|".join(
-                (finding.path, finding.rule, finding.snippet, str(occurrence))
+                (path, finding.rule, finding.snippet, str(occurrence))
             ).encode("utf-8")
         ).hexdigest()[:16]
         result.append((finding, digest))
@@ -100,7 +111,7 @@ def render_baseline(findings: Iterable[Finding]) -> str:
     entries: List[Dict[str, str]] = [
         {
             "fingerprint": digest,
-            "path": finding.path,
+            "path": _canonical_path(finding.path),
             "rule": finding.rule,
             "snippet": finding.snippet,
             "message": finding.message,

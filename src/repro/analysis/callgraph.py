@@ -41,7 +41,17 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.core import (
     FileContext,
@@ -95,6 +105,56 @@ _LOCK_FACTORIES: FrozenSet[str] = frozenset(
 FROZEN_FACTORIES: FrozenSet[str] = frozenset(
     {"frozenset", "tuple", "MappingProxyType"}
 )
+
+#: Constructors that produce a stateful RNG stream object.  Attribute
+#: calls (``random.Random``, ``np.random.MT19937``) accept the full
+#: set; bare names are restricted to the unambiguous ones so a local
+#: class that happens to be called ``Generator`` is not misread.
+RNG_FACTORY_NAMES: FrozenSet[str] = frozenset(
+    {
+        "Random",
+        "SystemRandom",
+        "default_rng",
+        "RandomState",
+        "MT19937",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "Generator",
+    }
+)
+
+_RNG_BARE_NAMES: FrozenSet[str] = frozenset(
+    {"Random", "SystemRandom", "default_rng", "RandomState", "MT19937"}
+)
+
+
+def is_rng_call(node: ast.AST) -> bool:
+    """Whether ``node`` constructs an RNG stream object.
+
+    Recognizes ``random.Random(...)``, ``np.random.MT19937(...)``,
+    ``numpy.random.default_rng(...)`` and friends, plus bare-name calls
+    of the unambiguous constructors (``Random(seed)`` after a
+    ``from random import Random``).
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _RNG_BARE_NAMES
+    if isinstance(func, ast.Attribute):
+        if func.attr not in RNG_FACTORY_NAMES:
+            return False
+        for part in ast.walk(func.value):
+            if isinstance(part, ast.Name) and part.id in {
+                "random",
+                "np",
+                "numpy",
+            }:
+                return True
+            if isinstance(part, ast.Attribute) and part.attr == "random":
+                return True
+    return False
 
 
 def module_dotted(display_path: str) -> str:
@@ -176,6 +236,43 @@ class Mutation:
     what: str
 
 
+@dataclass(frozen=True)
+class Dep:
+    """One input a value expression (transitively) depends on.
+
+    ``kind`` is one of:
+
+    * ``"param"`` — a parameter of the enclosing function; ``chain``
+      holds the attribute path when the dependence is on a field
+      (``spec.seed`` → ``Dep("param", "spec", chain=("seed",))``);
+    * ``"global"`` — a module-level name, with ``module`` the dotted
+      module that owns it (covers same-module globals, ``from``-imports
+      and module-alias attribute reads);
+    * ``"loop"`` — a name bound by a ``for`` target or comprehension
+      generator in the enclosing frame;
+    * ``"unknown"`` — a name or expression the walker cannot classify
+      (closures, unresolved call results); consumers treat it as
+      "could be anything" in whichever direction is conservative for
+      their rule.
+    """
+
+    kind: str
+    name: str
+    module: str = ""
+    chain: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Stable human-readable form for reports and messages."""
+        suffix = "".join(f".{part}" for part in self.chain)
+        if self.kind == "global" and self.module:
+            return f"{self.module}.{self.name}{suffix}"
+        if self.kind == "loop":
+            return f"{self.name}{suffix} (loop)"
+        if self.kind == "unknown":
+            return f"{self.name}?"
+        return f"{self.name}{suffix}"
+
+
 @dataclass
 class FunctionSummary:
     """Per-function facts the effect rules consume."""
@@ -210,6 +307,22 @@ class FunctionSummary:
     scalar_only_calls: FrozenSet[str] = frozenset()
     """Call targets reached *only* from scalar-twin regions of a
     ``perf.FAST`` split — hot-set reachability does not follow them."""
+    params: Tuple[str, ...] = ()
+    """Positional + keyword-only parameter names in declaration order
+    (``self``/``cls`` included; ``*args``/``**kwargs`` excluded)."""
+    has_varargs: bool = False
+    """The signature takes ``*args`` or ``**kwargs`` (argument mapping
+    across such a call site is conservative)."""
+    param_reads: FrozenSet[str] = frozenset()
+    """Parameters whose value the body actually loads."""
+    loop_targets: FrozenSet[str] = frozenset()
+    """Names bound by ``for`` targets or comprehension generators in
+    this function's own frame."""
+    return_values: List[ast.expr] = field(default_factory=list)
+    """The full expression of every ``return <expr>`` statement."""
+    call_targets: Dict[ast.Call, str] = field(default_factory=dict)
+    """Resolved ``module::qualname`` target per call node, so the
+    dataflow walker can map arguments without re-resolving."""
 
     @property
     def name(self) -> str:
@@ -231,6 +344,8 @@ class ModuleInfo:
     functions: Dict[str, FunctionSummary] = field(default_factory=dict)
     frozen_classes: Set[str] = field(default_factory=set)
     classes: Set[str] = field(default_factory=set)
+    rng_globals: Set[str] = field(default_factory=set)
+    """Module-level names bound directly to an RNG constructor."""
 
 
 def _terminal_name(node: ast.expr) -> Optional[str]:
@@ -346,6 +461,35 @@ def scalar_region_nodes(node: FunctionNode) -> Set[ast.AST]:
             regions.extend(child.orelse)
             if _always_exits(child.body) and not child.orelse:
                 regions.extend(_trailing_statements(child))
+    nodes: Set[ast.AST] = set()
+    for statement in regions:
+        nodes.update(ast.walk(statement))
+    return nodes
+
+
+def fast_region_nodes(node: FunctionNode) -> Set[ast.AST]:
+    """Every AST node inside a *fast* region of a ``perf.FAST`` split.
+
+    The mirror image of :func:`scalar_region_nodes`, using the same two
+    recognized twin shapes: the ``body`` of ``if perf.FAST:`` is fast,
+    and for ``if not perf.FAST: <scalar, always exits>`` the ``orelse``
+    plus the fall-through statements are fast.  The RNG provenance rule
+    uses both region sets to prove a stream object never crosses the
+    twin boundary.
+    """
+    regions: List[ast.stmt] = []
+    for child in ast.walk(node):
+        if not isinstance(child, ast.If) or not _mentions_fast(child.test):
+            continue
+        negated = isinstance(child.test, ast.UnaryOp) and isinstance(
+            child.test.op, ast.Not
+        )
+        if negated:
+            regions.extend(child.orelse)
+            if _always_exits(child.body) and not child.orelse:
+                regions.extend(_trailing_statements(child))
+        else:
+            regions.extend(child.body)
     nodes: Set[ast.AST] = set()
     for statement in regions:
         nodes.update(ast.walk(statement))
@@ -513,6 +657,8 @@ class _ModuleScanner:
                         info.lock_names.add(name)
                     if "CACHE" in name.upper() and not var.is_lock:
                         var.is_cache = True
+                    if value is not None and is_rng_call(value):
+                        info.rng_globals.add(name)
             elif isinstance(statement, ast.ClassDef):
                 info.classes.add(statement.name)
                 if _is_frozen_dataclass_def(statement):
@@ -545,6 +691,15 @@ class _ModuleScanner:
         # lock": the helper's own effects count as synchronized, and
         # the lock-discipline rule checks its call sites instead.
         assumes_lock = qualname.rsplit(".", 1)[-1].endswith("_locked")
+        args = node.args
+        summary.params = tuple(
+            arg.arg
+            for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        summary.has_varargs = args.vararg is not None or args.kwarg is not None
+        param_set = set(summary.params)
+        param_reads: Set[str] = set()
+        loop_targets: Set[str] = set()
         locals_here = _local_names(node)
         global_decls: Set[str] = set()
         for child in ast.walk(node):
@@ -669,6 +824,7 @@ class _ModuleScanner:
                 if resolved is not None:
                     target_key = "::".join(resolved)
                     summary.calls.append(target_key)
+                    summary.call_targets[child] = target_key
                     if child not in scalar_nodes:
                         nonscalar_targets.add(target_key)
                 func = child.func
@@ -753,6 +909,32 @@ class _ModuleScanner:
                                     summary.call_bindings.setdefault(
                                         target.id, []
                                     ).append("::".join(resolved))
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        # ``a, b = expr`` — record each name's source so
+                        # the dataflow walker can chase dependencies.
+                        # Elementwise when the arity visibly matches,
+                        # otherwise the whole RHS (conservative).
+                        elements = list(target.elts)
+                        paired: Optional[List[ast.expr]] = None
+                        if (
+                            isinstance(value, (ast.Tuple, ast.List))
+                            and len(value.elts) == len(elements)
+                            and not any(
+                                isinstance(element, ast.Starred)
+                                for element in elements
+                            )
+                        ):
+                            paired = list(value.elts)
+                        for index, element in enumerate(elements):
+                            if not isinstance(element, ast.Name):
+                                continue
+                            if element.id in global_decls:
+                                effect(child, element.id, write=True)
+                                continue
+                            source = paired[index] if paired else value
+                            summary.value_sources.setdefault(
+                                element.id, []
+                            ).append(source)
                     elif isinstance(target, ast.Subscript):
                         owner = target.value
                         if isinstance(owner, ast.Name) and is_module_global(
@@ -843,6 +1025,8 @@ class _ModuleScanner:
             elif isinstance(child, ast.Name) and isinstance(
                 child.ctx, ast.Load
             ):
+                if child.id in param_set:
+                    param_reads.add(child.id)
                 if is_module_global(child.id) and info.globals[
                     child.id
                 ].shared_mutable:
@@ -850,6 +1034,7 @@ class _ModuleScanner:
             # -- returns --------------------------------------------------
             elif isinstance(child, ast.Return) and child.value is not None:
                 value = child.value
+                summary.return_values.append(value)
                 if isinstance(value, ast.Name):
                     summary.returned_names.add(value.id)
                 elif isinstance(value, ast.Call):
@@ -860,6 +1045,20 @@ class _ModuleScanner:
                     summary.returns_cache_lookup = True
         if summary.returned_names & set(summary.cache_bindings):
             summary.returns_cache_lookup = True
+        for child in ast.walk(node):
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                for part in ast.walk(child.target):
+                    if isinstance(part, ast.Name):
+                        loop_targets.add(part.id)
+            elif isinstance(
+                child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in child.generators:
+                    for part in ast.walk(generator.target):
+                        if isinstance(part, ast.Name):
+                            loop_targets.add(part.id)
+        summary.param_reads = frozenset(param_reads)
+        summary.loop_targets = frozenset(loop_targets)
         summary.loop_depth = max_loop_depth(node)
         summary.scalar_only_calls = frozenset(
             set(summary.calls) - nonscalar_targets
@@ -882,6 +1081,7 @@ class ProgramGraph:
         self.functions: Dict[str, FunctionSummary] = {}
         for module in modules:
             self.functions.update(module.functions)
+        self._return_deps: Optional[Dict[str, FrozenSet[str]]] = None
         #: (dotted module, simple or qual name) -> function key.
         self._by_target: Dict[Tuple[str, str], str] = {}
         for key, summary in self.functions.items():
@@ -991,6 +1191,205 @@ class ProgramGraph:
         for module in self.modules.values():
             names.update(module.frozen_classes)
         return names
+
+    def return_param_dependence(self) -> Dict[str, FrozenSet[str]]:
+        """Which of each function's parameters influence its return value.
+
+        Transitive-input fixpoint over the whole graph: a call's result
+        depends on exactly the arguments its (resolved) callee's return
+        depends on, so ``key = _cache_key(phase, model, space, cost)``
+        carries ``{phase, model, space, cost}`` into ``key``'s
+        dependence set — and dropping a parameter from ``_cache_key``'s
+        returned tuple is visible at every memo site that uses it.
+        Results are memoized on the graph instance (one fixpoint per
+        scan).
+        """
+        if self._return_deps is not None:
+            return self._return_deps
+        deps: Dict[str, FrozenSet[str]] = {
+            key: frozenset() for key in self.functions
+        }
+        # Monotone (dependence sets only grow), so this terminates; the
+        # pass cap is a backstop against pathological cycles.
+        for _ in range(16):
+            changed = False
+            for key in sorted(self.functions):
+                summary = self.functions[key]
+                found: Set[str] = set()
+                for value in summary.return_values:
+                    for dep in expr_deps(value, summary, self, deps):
+                        if dep.kind == "param":
+                            found.add(dep.name)
+                fresh = frozenset(found)
+                if fresh != deps[key]:
+                    deps[key] = fresh
+                    changed = True
+            if not changed:
+                break
+        self._return_deps = deps
+        return deps
+
+
+def map_call_args(
+    call: ast.Call,
+    callee: FunctionSummary,
+    wanted: FrozenSet[str],
+) -> Optional[List[ast.expr]]:
+    """Argument expressions feeding the ``wanted`` callee parameters.
+
+    Accounts for the implicit ``self``/``cls`` slot of method calls.
+    Returns ``None`` when the mapping cannot be trusted (starred
+    arguments, ``**kwargs`` on either side) — callers then fall back to
+    "depends on every argument".
+    """
+    if callee.has_varargs:
+        return None
+    if any(isinstance(arg, ast.Starred) for arg in call.args):
+        return None
+    if any(keyword.arg is None for keyword in call.keywords):
+        return None
+    params = list(callee.params)
+    offset = (
+        1
+        if "." in callee.qualname and params and params[0] in {"self", "cls"}
+        else 0
+    )
+    mapped: List[ast.expr] = []
+    for name in sorted(wanted):
+        if name not in params:
+            continue
+        position = params.index(name) - offset
+        if 0 <= position < len(call.args):
+            mapped.append(call.args[position])
+            continue
+        for keyword in call.keywords:
+            if keyword.arg == name:
+                mapped.append(keyword.value)
+                break
+        # A defaulted parameter contributes no call-site dependence.
+    return mapped
+
+
+def expr_deps(
+    expr: ast.expr,
+    summary: FunctionSummary,
+    graph: ProgramGraph,
+    return_deps: Mapping[str, FrozenSet[str]],
+    _visited: Optional[Set[str]] = None,
+) -> FrozenSet[Dep]:
+    """Transitive input dependencies of ``expr`` inside ``summary``.
+
+    Chases local names through :attr:`FunctionSummary.value_sources`,
+    maps resolved calls through ``return_deps`` (the
+    :meth:`ProgramGraph.return_param_dependence` fixpoint, or any
+    partial map during its iteration), and classifies the roots as
+    :class:`Dep` entries.  Unresolved calls conservatively depend on
+    every argument — the correct direction for key-folding questions.
+    """
+    module = graph.modules.get(summary.module)
+    params = set(summary.params)
+    visited = _visited if _visited is not None else set()
+    deps: Set[Dep] = set()
+
+    def name_dep(name: str) -> None:
+        if name in params:
+            deps.add(Dep("param", name))
+        elif name in summary.loop_targets:
+            deps.add(Dep("loop", name))
+        elif module is not None and name in module.globals:
+            deps.add(Dep("global", name, module=module.dotted))
+        elif name in summary.value_sources:
+            if name in visited:
+                return
+            visited.add(name)
+            for source in summary.value_sources[name]:
+                walk(source)
+        elif module is not None and name in module.from_imports:
+            target, original = module.from_imports[name]
+            deps.add(Dep("global", original, module=target))
+        else:
+            deps.add(Dep("unknown", name))
+
+    def attribute_chain(node: ast.Attribute) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        chain: List[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            chain.append(cursor.attr)
+            cursor = cursor.value
+        if isinstance(cursor, ast.Name):
+            chain.reverse()
+            return cursor.id, tuple(chain)
+        return None
+
+    def walk(node: ast.expr) -> None:
+        if isinstance(node, ast.Constant):
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                name_dep(node.id)
+            return
+        if isinstance(node, ast.Attribute):
+            rooted = attribute_chain(node)
+            if rooted is None:
+                walk(node.value)
+                return
+            root, chain = rooted
+            if root in params:
+                deps.add(Dep("param", root, chain=chain))
+            elif root in summary.loop_targets:
+                deps.add(Dep("loop", root, chain=chain))
+            elif module is not None and root in module.module_aliases:
+                deps.add(
+                    Dep(
+                        "global",
+                        chain[0],
+                        module=module.module_aliases[root],
+                        chain=chain[1:],
+                    )
+                )
+            elif module is not None and root in module.from_imports:
+                target, original = module.from_imports[root]
+                dotted = f"{target}.{original}" if target else original
+                deps.add(Dep("global", chain[0], module=dotted, chain=chain[1:]))
+            elif module is not None and root in module.globals:
+                deps.add(Dep("global", root, module=module.dotted, chain=chain))
+            elif root in summary.value_sources:
+                name_dep(root)
+            else:
+                deps.add(Dep("unknown", root, chain=chain))
+            return
+        if isinstance(node, ast.Call):
+            target = summary.call_targets.get(node)
+            callee_key = graph.resolve(target) if target is not None else None
+            if callee_key is not None and callee_key in return_deps:
+                callee = graph.functions[callee_key]
+                mapped = map_call_args(node, callee, return_deps[callee_key])
+                if mapped is not None:
+                    for argument in mapped:
+                        walk(argument)
+                    return
+            for argument in node.args:
+                walk(argument.value if isinstance(argument, ast.Starred) else argument)
+            for keyword in node.keywords:
+                walk(keyword.value)
+            # The receiver of an unresolved bound-method call is a data
+            # input too (``rng.random()`` depends on ``rng``); a bare
+            # function name is identity, not data.
+            if isinstance(node.func, ast.Attribute):
+                walk(node.func.value)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                walk(child)
+            elif isinstance(child, ast.comprehension):
+                walk(child.iter)
+                for condition in child.ifs:
+                    walk(condition)
+
+    walk(expr)
+    return frozenset(deps)
 
 
 def shared_graph(contexts: Sequence[FileContext]) -> ProgramGraph:

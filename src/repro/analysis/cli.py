@@ -13,18 +13,30 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import Callable, Dict, List, Optional, Set, TextIO
 
-from repro.analysis import ALL_RULES
+from repro.analysis import ALL_RULES, RULES_BY_ID
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
     diff_against_baseline,
     fingerprints,
     write_baseline,
 )
-from repro.analysis.core import Finding, load_contexts, scan_paths
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    load_contexts,
+    scan_paths,
+)
+from repro.analysis.dataflow import (
+    SCHEMA_PIN_FILENAME,
+    SchemaDriftRule,
+    dataflow_report,
+    write_schema_pins,
+)
 from repro.analysis.hotpath import HotReportEntry, hot_report
 
 
@@ -81,22 +93,64 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="list every registered rule with its scope and one-line "
         "description, then exit",
     )
+    parser.add_argument(
+        "--dataflow-report",
+        action="store_true",
+        help="instead of linting, print the dataflow evidence tables "
+        "(per-cache key-vs-read sets, per-stream seed provenance, "
+        "schema-surface fingerprints); honors --format text/json",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="run per-file rules only on files changed vs git HEAD "
+        "(plus untracked); program rules still scan the whole tree",
+    )
+    parser.add_argument(
+        "--update-schema",
+        action="store_true",
+        help=f"regenerate {SCHEMA_PIN_FILENAME} from the scanned "
+        "surfaces and exit 0",
+    )
 
 
-def _emit_json(findings: List[Finding], stream: TextIO) -> None:
+def _rule_scope(rule_id: str) -> str:
+    """Scope label for a finding's rule (synthetic rules like
+    ``parse-error`` have no registered Rule object)."""
+    rule = RULES_BY_ID.get(rule_id)
+    return rule.scope_label if rule is not None else "repo-wide"
+
+
+def _emit_json(
+    findings: List[Finding],
+    stream: TextIO,
+    suppressed: Optional[Dict[str, int]] = None,
+) -> None:
+    """Machine-readable findings; schema documented in DESIGN §9.
+
+    Version 2 adds the per-finding ``scope`` (where the rule can fire)
+    and the top-level per-rule ``suppressed`` pragma counts, matching
+    what the text path already surfaces.
+    """
     entries = [
         {
             "path": finding.path,
             "line": finding.line,
             "column": finding.column,
             "rule": finding.rule,
+            "scope": _rule_scope(finding.rule),
             "message": finding.message,
             "snippet": finding.snippet,
             "fingerprint": digest,
         }
         for finding, digest in fingerprints(findings)
     ]
-    json.dump({"version": 1, "findings": entries}, stream, indent=2)
+    payload = {
+        "version": 2,
+        "findings": entries,
+        "suppressed": dict(sorted((suppressed or {}).items())),
+    }
+    json.dump(payload, stream, indent=2)
     stream.write("\n")
 
 
@@ -185,6 +239,90 @@ def _emit_hot_report(
     stream.write(f"{len(entries)} hot function(s)\n")
 
 
+def _emit_dataflow_report(
+    contexts: List[FileContext], fmt: str, stream: TextIO
+) -> None:
+    """Render the dataflow evidence tables as text or JSON."""
+    report = dataflow_report(contexts)
+    if fmt == "json":
+        json.dump({"version": 1, **report}, stream, indent=2)
+        stream.write("\n")
+        return
+    caches = report["caches"]
+    streams = report["streams"]
+    schema = report["schema"]
+    assert isinstance(caches, list)
+    assert isinstance(streams, list)
+    assert isinstance(schema, dict)
+    stream.write(f"caches ({len(caches)}):\n")
+    for row in caches:
+        status = (
+            f"MISSING {', '.join(row['missing'])}"
+            if row["missing"]
+            else "ok"
+        )
+        stream.write(
+            f"  {row['path']}:{row['line']}  {row['function']}  "
+            f"[{row['kind']}] {row['container']}\n"
+            f"      key:   {', '.join(row['key']) or '-'}"
+            f"{'  (digest-keyed)' if row['digest_keyed'] else ''}\n"
+            f"      reads: {', '.join(row['reads']) or '-'}   {status}\n"
+        )
+    stream.write(f"streams ({len(streams)}):\n")
+    for row in streams:
+        stream.write(
+            f"  {row['path']}:{row['line']}  {row['function']}  "
+            f"{row['name']}  "
+            f"{'keyed' if row['keyed'] else 'unkeyed'}"
+            f"{'  -> return' if row['returned'] else ''}\n"
+            f"      seed:  {', '.join(row['seed']) or '-'}\n"
+            f"      sinks: {', '.join(row['sinks']) or '-'}\n"
+        )
+    stream.write(f"schema surfaces ({len(schema)}):\n")
+    for name, entry in schema.items():
+        stream.write(
+            f"  {name}  v{entry['schema_version']}  "
+            f"{entry['fingerprint']}\n"
+        )
+
+
+def _changed_paths(root: Path) -> Optional[Set[str]]:
+    """POSIX-relative paths changed vs HEAD, plus untracked files.
+
+    Returns None (caller lints everything) when git is unavailable or
+    the root is not a work tree — ``--changed-only`` degrades to a full
+    scan rather than silently linting nothing.
+    """
+    changed: Set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        for line in result.stdout.splitlines():
+            line = line.strip()
+            if line:
+                changed.add(line.replace("\\", "/"))
+    return changed
+
+
+def _membership_filter(changed: Set[str]) -> Callable[[FileContext], bool]:
+    def accept(context: FileContext) -> bool:
+        return context.display_path in changed
+
+    return accept
+
+
 def run_lint(
     args: argparse.Namespace, stream: Optional[TextIO] = None
 ) -> int:
@@ -198,15 +336,51 @@ def run_lint(
         print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
     root = Path(args.root) if args.root else Path.cwd()
-    if args.hot_report:
+    for rule in ALL_RULES:
+        if isinstance(rule, SchemaDriftRule):
+            rule.pin_path = root / SCHEMA_PIN_FILENAME
+    if args.update_schema:
         contexts, errors = load_contexts(paths, root=root)
         if errors:
             for finding in errors:
                 print(finding.render(), file=sys.stderr)
             return 2
-        _emit_hot_report(hot_report(contexts), args.format, out)
+        surfaces = write_schema_pins(contexts, root / SCHEMA_PIN_FILENAME)
+        print(
+            f"pinned {len(surfaces)} surface(s) to {SCHEMA_PIN_FILENAME}",
+            file=out,
+        )
         return 0
-    findings = scan_paths(paths, ALL_RULES, root=root)
+    if args.hot_report or args.dataflow_report:
+        contexts, errors = load_contexts(paths, root=root)
+        if errors:
+            for finding in errors:
+                print(finding.render(), file=sys.stderr)
+            return 2
+        if args.hot_report:
+            _emit_hot_report(hot_report(contexts), args.format, out)
+        if args.dataflow_report:
+            _emit_dataflow_report(contexts, args.format, out)
+        return 0
+    file_filter: Optional[Callable[[FileContext], bool]] = None
+    if args.changed_only:
+        changed = _changed_paths(root)
+        if changed is None:
+            print(
+                "repro lint: --changed-only: git unavailable, "
+                "scanning everything",
+                file=sys.stderr,
+            )
+        else:
+            file_filter = _membership_filter(changed)
+    suppressed: Dict[str, int] = {}
+    findings = scan_paths(
+        paths,
+        ALL_RULES,
+        root=root,
+        file_filter=file_filter,
+        suppressed=suppressed,
+    )
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
@@ -230,7 +404,7 @@ def run_lint(
         new, known, stale = diff.new, diff.known, diff.stale
 
     if args.format == "json":
-        _emit_json(new, out)
+        _emit_json(new, out, suppressed)
     elif args.format == "github":
         _emit_github(new, out)
         print(
@@ -245,7 +419,8 @@ def run_lint(
                 print(f"    {finding.snippet}", file=out)
         summary = (
             f"{len(new)} new finding(s), {len(known)} baselined, "
-            f"{len(stale)} stale baseline entrie(s)"
+            f"{len(stale)} stale baseline entrie(s), "
+            f"{sum(suppressed.values())} pragma-suppressed"
         )
         print(summary, file=out)
         if stale:

@@ -236,12 +236,17 @@ def walk_functions(tree: ast.AST) -> Iterator[FunctionNode]:
 
 
 def check_file(
-    context: FileContext, rules: Iterable[Rule]
+    context: FileContext,
+    rules: Iterable[Rule],
+    suppressed: Optional[Dict[str, int]] = None,
 ) -> List[Finding]:
     """Run ``rules`` over one parsed file, honouring scopes and pragmas.
 
     Program rules are skipped here — they need the full file set; see
-    :func:`check_program`.
+    :func:`check_program`.  When ``suppressed`` is given, every finding
+    a ``# lint: allow(...)`` pragma swallowed increments its rule's
+    entry — the JSON report surfaces those counts so suppressions stay
+    visible instead of silently vanishing.
     """
     findings: List[Finding] = []
     for rule in rules:
@@ -249,19 +254,26 @@ def check_file(
             continue
         for finding in rule.check(context):
             if context.is_allowed(finding.rule, finding.line):
+                if suppressed is not None:
+                    suppressed[finding.rule] = (
+                        suppressed.get(finding.rule, 0) + 1
+                    )
                 continue
             findings.append(finding)
     return findings
 
 
 def check_program(
-    contexts: Sequence[FileContext], rules: Iterable[Rule]
+    contexts: Sequence[FileContext],
+    rules: Iterable[Rule],
+    suppressed: Optional[Dict[str, int]] = None,
 ) -> List[Finding]:
     """Run every :class:`ProgramRule` over the whole scanned file set.
 
     Pragma suppression and ``scoped_dirs`` filtering are applied per
     finding, against the file the finding landed in — the same
-    semantics per-file rules get from :func:`check_file`.
+    semantics per-file rules get from :func:`check_file` (including the
+    optional ``suppressed`` pragma counters).
     """
     by_path: Dict[str, FileContext] = {
         context.display_path: context for context in contexts
@@ -277,6 +289,10 @@ def check_program(
             if rule.scoped_dirs is not None and not rule.applies_to(context):
                 continue
             if context.is_allowed(finding.rule, finding.line):
+                if suppressed is not None:
+                    suppressed[finding.rule] = (
+                        suppressed.get(finding.rule, 0) + 1
+                    )
                 continue
             findings.append(finding)
     return findings
@@ -337,12 +353,23 @@ def scan_paths(
     paths: Iterable[Path],
     rules: Iterable[Rule],
     root: Optional[Path] = None,
+    file_filter: Optional[Callable[[FileContext], bool]] = None,
+    suppressed: Optional[Dict[str, int]] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths`` with ``rules``."""
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``file_filter`` restricts *per-file* rules to the contexts it
+    accepts (``repro lint --changed-only``); program rules always see
+    the full file set — interprocedural facts don't respect diff
+    boundaries.  ``suppressed`` collects per-rule pragma-suppression
+    counts (see :func:`check_file`).
+    """
     rule_list = list(rules)
     contexts, findings = load_contexts(paths, root=root)
     for context in contexts:
-        findings.extend(check_file(context, rule_list))
-    findings.extend(check_program(contexts, rule_list))
+        if file_filter is not None and not file_filter(context):
+            continue
+        findings.extend(check_file(context, rule_list, suppressed))
+    findings.extend(check_program(contexts, rule_list, suppressed))
     findings.sort(key=lambda finding: finding.sort_key)
     return findings

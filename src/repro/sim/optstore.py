@@ -409,6 +409,10 @@ def _unlink_quietly(name: str) -> None:
         segment = _shared_memory(name)
     except FileNotFoundError:
         return
+    except ValueError:  # pragma: no cover - raced a mid-create publish
+        # Attach saw a zero-size segment (creator between shm_open and
+        # ftruncate); the creator still holds it — leave it alone.
+        return
     # unlink() below withdraws the attach-time tracker registration
     # itself, so no separate unregister here.
     try:
@@ -542,7 +546,11 @@ def _shm_lookup_locked(digest: str, values: int) -> Optional[Payload]:
         return None
     try:
         segment = _shared_memory(name)
-    except FileNotFoundError:
+    except (FileNotFoundError, ValueError):
+        # ValueError ("cannot mmap an empty file"): the publisher in
+        # another process is between shm_open and ftruncate — the
+        # segment exists but has no size yet.  A miss, never an error:
+        # the disk/build tiers below produce bit-identical tables.
         _COUNTS[_counter_index("l2_misses")] += 1
         return None
     _unregister_attached(segment)

@@ -1,0 +1,99 @@
+"""Baseline round-tripping: a baseline written on one platform gates
+identically after path-separator and ordering churn.
+
+Fingerprints hash the POSIX-canonical path, so ``src\\repro\\x.py``
+(a Windows-written baseline) and ``src/repro/x.py`` (the same finding
+scanned on POSIX) produce the same gate; and they are independent of
+finding order, so shuffled scans diff clean.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    diff_against_baseline,
+    fingerprints,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Finding
+
+
+def finding(path, line=3, rule="float-eq", snippet="if x == 0.1:"):
+    return Finding(
+        path=path,
+        line=line,
+        column=4,
+        rule=rule,
+        message="exact equality comparison against a float literal",
+        snippet=snippet,
+    )
+
+
+class TestPathSeparatorChurn:
+    def test_backslash_and_posix_paths_share_a_fingerprint(self):
+        (_, posix_digest), = fingerprints([finding("src/repro/sim/a.py")])
+        (_, windows_digest), = fingerprints(
+            [finding("src\\repro\\sim\\a.py")]
+        )
+        assert posix_digest == windows_digest
+
+    def test_windows_written_baseline_gates_posix_scan(self, tmp_path):
+        baseline = tmp_path / "LINT_BASELINE.json"
+        write_baseline([finding("src\\repro\\sim\\a.py")], baseline)
+        diff = diff_against_baseline(
+            [finding("src/repro/sim/a.py")], baseline
+        )
+        assert diff.new == []
+        assert len(diff.known) == 1
+        assert diff.stale == []
+
+    def test_rendered_baseline_stores_posix_relative_paths(self):
+        rendered = render_baseline([finding("src\\repro\\sim\\a.py")])
+        payload = json.loads(rendered)
+        (entry,) = payload["findings"]
+        assert entry["path"] == "src/repro/sim/a.py"
+        assert "\\" not in rendered
+
+
+class TestOrderingChurn:
+    def findings(self):
+        return [
+            finding("src/repro/sim/a.py", line=3),
+            finding("src/repro/sim/b.py", line=9, rule="set-iteration",
+                    snippet="for item in seen:"),
+            finding("src/repro/cloud/c.py", line=1, rule="wall-clock",
+                    snippet="now = time.time()"),
+        ]
+
+    def test_shuffled_scan_gates_identically(self, tmp_path):
+        baseline = tmp_path / "LINT_BASELINE.json"
+        write_baseline(self.findings(), baseline)
+        diff = diff_against_baseline(
+            list(reversed(self.findings())), baseline
+        )
+        assert diff.new == []
+        assert len(diff.known) == 3
+        assert diff.stale == []
+
+    def test_rendered_baseline_is_order_independent(self):
+        assert render_baseline(self.findings()) == render_baseline(
+            list(reversed(self.findings()))
+        )
+
+    def test_duplicate_findings_stay_distinct_by_occurrence(self, tmp_path):
+        # Two identical findings on different lines of one file: both
+        # must be recorded (occurrence-indexed), and a rescan with only
+        # one left reports the other as stale, not new.
+        baseline = tmp_path / "LINT_BASELINE.json"
+        pair = [
+            finding("src/repro/sim/a.py", line=3),
+            finding("src/repro/sim/a.py", line=30),
+        ]
+        write_baseline(pair, baseline)
+        payload = json.loads(baseline.read_text())
+        assert len(payload["findings"]) == 2
+        diff = diff_against_baseline(pair[:1], baseline)
+        assert diff.new == []
+        assert len(diff.known) == 1
+        assert len(diff.stale) == 1

@@ -11,6 +11,7 @@ The acceptance scenarios for the suite live here:
 
 import io
 import json
+import subprocess
 import textwrap
 from pathlib import Path
 
@@ -543,6 +544,280 @@ class TestHotReportCLI:
         assert all(
             entry["findings"] == 0 for entry in report["hot_functions"]
         )
+
+
+class TestJsonSchemaV2:
+    def test_findings_carry_rule_scope(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 1
+        report = json.loads(out)
+        assert report["version"] == 2
+        (finding,) = report["findings"]
+        assert finding["scope"].startswith("engine-dirs(")
+
+    def test_pragma_suppressed_counts_are_reported(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()  # lint: allow(unseeded-random)
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["findings"] == []
+        assert report["suppressed"] == {"unseeded-random": 1}
+
+    def test_parse_error_findings_get_default_scope(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 1
+        report = json.loads(out)
+        (finding,) = report["findings"]
+        assert finding["rule"] == "parse-error"
+        assert finding["scope"] == "repo-wide"
+
+
+def git(repo, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.com",
+            "HOME": str(repo),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+class TestChangedOnly:
+    def seed_repo(self, tmp_path):
+        write_module(
+            tmp_path,
+            "pkg/sim/committed.py",
+            """
+            import random
+
+            def old_jitter():
+                return random.random()
+            """,
+        )
+        git(tmp_path, "init", "-q")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-q", "-m", "seed")
+
+    def test_scopes_per_file_rules_to_changed_paths(self, tmp_path, capsys):
+        self.seed_repo(tmp_path)
+        write_module(
+            tmp_path,
+            "pkg/sim/fresh.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--changed-only",
+                "--root",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "wall-clock" in out
+        assert "committed.py" not in out
+
+    def test_program_rules_still_scan_the_whole_tree(self, tmp_path, capsys):
+        self.seed_repo(tmp_path)
+        # The committed (unchanged) file holds a whole-program
+        # violation: a worker entrypoint writing a module global.
+        write_module(
+            tmp_path,
+            "pkg/experiments/stats.py",
+            """
+            _RESULTS = []
+
+            def run_cell(spec):
+                _RESULTS.append(spec)
+                return spec
+            """,
+        )
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-q", "-m", "program violation")
+        write_module(tmp_path, "pkg/sim/touched.py", "x = 1\n")
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--changed-only",
+                "--root",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "worker-global-write" in out
+        # ...while the per-file debt in the unchanged file stays out.
+        assert "unseeded-random" not in out
+
+    def test_outside_a_git_repo_degrades_to_full_scan(
+        self, tmp_path, capsys
+    ):
+        write_module(
+            tmp_path,
+            "pkg/sim/noise.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--no-baseline",
+                "--changed-only",
+                "--root",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "unseeded-random" in out
+
+
+class TestDataflowCLI:
+    def test_update_schema_writes_the_pin_file(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/cloud/service.py",
+            """
+            from dataclasses import dataclass
+
+            CHECKPOINT_SCHEMA = 1
+
+            @dataclass
+            class ServiceAccount:
+                tenant_id: int
+            """,
+        )
+        code, out = run_lint(
+            [str(tmp_path), "--update-schema", "--root", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "pinned 1 surface(s)" in out
+        payload = json.loads(
+            (tmp_path / "SCHEMA_FINGERPRINTS.json").read_text()
+        )
+        assert "service-checkpoint" in payload["surfaces"]
+
+    def test_dataflow_report_text_and_json(self, tmp_path, capsys):
+        write_module(
+            tmp_path,
+            "pkg/sim/tables.py",
+            """
+            _TABLE_CACHE = {}
+
+            def lookup(phase, mode):
+                key = (phase, mode)
+                hit = _TABLE_CACHE.get(key)
+                if hit is not None:
+                    return hit
+                value = (phase, mode * 2)
+                _TABLE_CACHE[key] = value
+                return value
+            """,
+        )
+        code, out = run_lint(
+            [str(tmp_path), "--dataflow-report", "--root", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "caches (1):" in out
+        assert "_TABLE_CACHE" in out
+        code, out = run_lint(
+            [
+                str(tmp_path),
+                "--dataflow-report",
+                "--root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        (cache,) = report["caches"]
+        assert cache["missing"] == []
+
+    def test_repo_tip_dataflow_report_is_clean_json(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_lint(
+            ["--dataflow-report", "--format", "json"], capsys
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert all(row["missing"] == [] for row in report["caches"])
+        assert report["schema"]
 
 
 class TestHistoricalRegressionsFailTheGate:
